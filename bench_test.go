@@ -1,0 +1,418 @@
+package exactppr
+
+// One testing.B benchmark per table/figure of the paper's evaluation.
+// DESIGN.md §4 maps experiment ids to these targets; EXPERIMENTS.md
+// records paper-vs-measured shapes. Fixtures are built once per process
+// at reduced scale so the whole suite stays laptop-friendly; use
+// cmd/pprexp for the full experiment tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"exactppr/internal/bsp"
+	"exactppr/internal/cluster"
+	"exactppr/internal/core"
+	"exactppr/internal/fastppv"
+	"exactppr/internal/gen"
+	"exactppr/internal/graph"
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/montecarlo"
+	"exactppr/internal/ppr"
+	"exactppr/internal/workload"
+)
+
+const benchScale = 0.25
+
+var benchParams = ppr.Params{Alpha: 0.15, Eps: 1e-4}
+
+type fixture struct {
+	g     *graph.Graph
+	store *core.Store
+	gpa   *core.Store
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+)
+
+func benchFixture(b *testing.B) *fixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		g, err := gen.Dataset("web", benchScale, 1)
+		if err != nil {
+			panic(err)
+		}
+		store, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1}, benchParams, 0)
+		if err != nil {
+			panic(err)
+		}
+		gpa, err := core.BuildGPA(g, 6, benchParams, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		fix = fixture{g: g, store: store, gpa: gpa}
+	})
+	return &fix
+}
+
+func benchQueries(g *graph.Graph, n int) []int32 { return workload.Queries(g, n, 99) }
+
+// BenchmarkHierarchyBuild regenerates Tables 2–5: hierarchical
+// partitioning with per-level hub selection.
+func BenchmarkHierarchyBuild(b *testing.B) {
+	f := benchFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, err := hierarchy.Build(f.g, hierarchy.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(h.TotalHubs()), "hubs")
+	}
+}
+
+// BenchmarkGPAQuery and BenchmarkHGPAQuery are Figure 9's runtime bars.
+func BenchmarkGPAQuery(b *testing.B) {
+	f := benchFixture(b)
+	qs := benchQueries(f.g, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.gpa.Query(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHGPAQuery(b *testing.B) {
+	f := benchFixture(b)
+	qs := benchQueries(f.g, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.store.Query(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHGPAQueryMachines is Figure 10: distributed query runtime as
+// the machine count grows (per-machine work shrinks).
+func BenchmarkHGPAQueryMachines(b *testing.B) {
+	f := benchFixture(b)
+	for _, n := range []int{2, 6, 10} {
+		b.Run(fmt.Sprintf("machines=%d", n), func(b *testing.B) {
+			coord, err := cluster.NewLocalCluster(f.store, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := benchQueries(f.g, 16)
+			b.ResetTimer()
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				stats, err := coord.QuerySequential(qs[i%len(qs)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += stats.BytesReceived
+			}
+			// Figure 13's communication metric rides along.
+			b.ReportMetric(float64(bytes)/float64(b.N)/1024, "KB/query")
+		})
+	}
+}
+
+// BenchmarkPrecompute is Figure 12's offline cost (per full build).
+func BenchmarkPrecompute(b *testing.B) {
+	f := benchFixture(b)
+	h, err := hierarchy.Build(f.g, hierarchy.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Precompute(h, benchParams, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHGPALevels is Figures 14–16: query cost across hierarchy
+// depths (space/offline are printed as metrics).
+func BenchmarkHGPALevels(b *testing.B) {
+	f := benchFixture(b)
+	for _, levels := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("levels=%d", levels), func(b *testing.B) {
+			store, err := core.BuildHGPA(f.g, hierarchy.Options{MaxLevels: levels, Seed: 1}, benchParams, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(store.SpaceBytes())/(1<<20), "MB")
+			qs := benchQueries(f.g, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Query(qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHGPAFanout is Figure 17: multi-way partitioning.
+func BenchmarkHGPAFanout(b *testing.B) {
+	f := benchFixture(b)
+	for _, fanout := range []int{2, 8} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			store, err := core.BuildHGPA(f.g, hierarchy.Options{Fanout: fanout, Seed: 1}, benchParams, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := benchQueries(f.g, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Query(qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHGPATolerance is Figure 18: the ε sweep.
+func BenchmarkHGPATolerance(b *testing.B) {
+	f := benchFixture(b)
+	for _, eps := range []float64{1e-3, 1e-5} {
+		b.Run(fmt.Sprintf("eps=%.0e", eps), func(b *testing.B) {
+			p := benchParams
+			p.Eps = eps
+			store, err := core.BuildHGPA(f.g, hierarchy.Options{Seed: 1}, p, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(store.SpaceBytes())/(1<<20), "MB")
+			qs := benchQueries(f.g, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Query(qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHGPAScaleMeetup is Figure 20 (and Table 6's graphs): query
+// runtime as the graph grows.
+func BenchmarkHGPAScaleMeetup(b *testing.B) {
+	for i, spec := range gen.MeetupSizes {
+		if i%2 == 1 {
+			continue // M1, M3, M5 keep the suite short
+		}
+		b.Run(spec.ID, func(b *testing.B) {
+			g, err := gen.MeetupLike(i, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1}, benchParams, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs := benchQueries(g, 8)
+			b.ResetTimer()
+			for j := 0; j < b.N; j++ {
+				if _, err := store.Query(qs[j%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPregelPPV and BenchmarkBlogelPPV are Figures 21–22 and 27:
+// the BSP baselines (network bytes reported as a metric).
+func benchBSP(b *testing.B, mode bsp.Mode) {
+	f := benchFixture(b)
+	e, err := bsp.NewEngine(f.g, mode, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := benchQueries(f.g, 8)
+	b.ResetTimer()
+	var bytes int64
+	var steps int
+	for i := 0; i < b.N; i++ {
+		stats, err := e.RunPPV(qs[i%len(qs)], benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += stats.NetworkBytes
+		steps += stats.Supersteps
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N)/1024, "KB/query")
+	b.ReportMetric(float64(steps)/float64(b.N), "supersteps")
+}
+
+func BenchmarkPregelPPV(b *testing.B) { benchBSP(b, bsp.VertexCentric) }
+func BenchmarkBlogelPPV(b *testing.B) { benchBSP(b, bsp.BlockCentric) }
+
+// BenchmarkPowerIteration and BenchmarkHGPACentral are Figure 23: the
+// centralized comparison.
+func BenchmarkPowerIteration(b *testing.B) {
+	f := benchFixture(b)
+	qs := benchQueries(f.g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ppr.PowerIteration(f.g, qs[i%len(qs)], benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHGPACentral(b *testing.B) {
+	f := benchFixture(b)
+	qs := benchQueries(f.g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.store.Query(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFastPPV is Figures 24–26's comparator, and BenchmarkHGPAad the
+// adapted method.
+func BenchmarkFastPPV(b *testing.B) {
+	f := benchFixture(b)
+	ix, err := fastppv.BuildIndex(f.g, max(f.g.NumNodes()/200, 4), benchParams, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := benchQueries(f.g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Query(qs[i%len(qs)], 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHGPAad(b *testing.B) {
+	f := benchFixture(b)
+	ad := f.store.Clone()
+	ad.Truncate(1e-4)
+	qs := benchQueries(f.g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ad.Query(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHGPAManyProcs is Figure 28: the large-graph analogue over a
+// large processor count.
+func BenchmarkHGPAManyProcs(b *testing.B) {
+	g, err := gen.Dataset("pld_full", 0.1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchParams
+	p.Eps = 1e-2 // the paper relaxes ε on PLD_full
+	store, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1}, p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, err := cluster.NewLocalCluster(store, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := benchQueries(g, 8)
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		stats, err := coord.QuerySequential(qs[i%len(qs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += stats.BytesReceived
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N)/1024, "KB/query")
+}
+
+// BenchmarkSkeletonAblation contrasts §5.2's memory-bounded reverse
+// iteration (local push) with the literal dense Jacobi version — the
+// design choice DESIGN.md calls out.
+func BenchmarkSkeletonAblation(b *testing.B) {
+	f := benchFixture(b)
+	h := int32(7)
+	b.Run("reverse-push", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ppr.SkeletonForHub(f.g, h, benchParams); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense-jacobi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ppr.SkeletonForHubDense(f.g, h, benchParams); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDiskStoreQuery measures the disk-resident query path (§5.2's
+// "vectors larger than main memory" deployment) against the in-memory
+// BenchmarkHGPACentral.
+func BenchmarkDiskStoreQuery(b *testing.B) {
+	f := benchFixture(b)
+	path := b.TempDir() + "/bench.store"
+	if err := core.SaveFile(path, f.store); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := core.OpenDiskStore(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	ds.SetCacheCap(64) // force real disk traffic
+	qs := benchQueries(f.g, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Query(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo measures the random-walk estimator [5] at a walk
+// budget whose accuracy is comparable to ε=1e-2 — the approximate
+// distributed alternative HGPA is exact against.
+func BenchmarkMonteCarlo(b *testing.B) {
+	f := benchFixture(b)
+	e, err := montecarlo.NewEngine(f.g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := benchQueries(f.g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(qs[i%len(qs)], 10000, benchParams, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuerySet measures preference-set queries (PPV linearity).
+func BenchmarkQuerySet(b *testing.B) {
+	f := benchFixture(b)
+	pref := core.Preference{Nodes: benchQueries(f.g, 3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.store.QuerySet(pref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

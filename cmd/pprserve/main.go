@@ -1,0 +1,98 @@
+// Command pprserve runs one side of the paper's distributed architecture
+// over TCP:
+//
+// Worker mode — serve shard i of n from a store file:
+//
+//	pprserve -store web.store -shard 0 -of 3 -listen :7001
+//
+// Coordinator mode — query workers and print the result:
+//
+//	pprserve -coordinator -workers host1:7001,host2:7002,host3:7003 -node 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"exactppr/internal/cluster"
+	"exactppr/internal/core"
+)
+
+func main() {
+	var (
+		storePath   = flag.String("store", "ppr.store", "store file (worker mode)")
+		shard       = flag.Int("shard", 0, "shard index (worker mode)")
+		of          = flag.Int("of", 1, "total machines (worker mode)")
+		listen      = flag.String("listen", ":7001", "listen address (worker mode)")
+		coordinator = flag.Bool("coordinator", false, "run as coordinator")
+		workers     = flag.String("workers", "", "comma-separated worker addresses (coordinator mode)")
+		node        = flag.Int("node", 0, "query node (coordinator mode)")
+		topk        = flag.Int("topk", 10, "entries to print (coordinator mode)")
+	)
+	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*workers, int32(*node), *topk)
+		return
+	}
+
+	store, err := core.LoadFile(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	shards, err := core.Split(store, *of)
+	if err != nil {
+		fatal(err)
+	}
+	if *shard < 0 || *shard >= len(shards) {
+		fatal(fmt.Errorf("shard %d out of range [0,%d)", *shard, len(shards)))
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	sh := shards[*shard]
+	fmt.Fprintf(os.Stderr, "worker: shard %d/%d (%d hubs, %d leaves, %.2f MB) listening on %s\n",
+		*shard, *of, sh.HubCount(), sh.LeafCount(), float64(sh.SpaceBytes())/(1<<20), l.Addr())
+	if err := cluster.Serve(l, &cluster.ShardMachine{Shard: sh}); err != nil {
+		fatal(err)
+	}
+}
+
+func runCoordinator(workerList string, node int32, topk int) {
+	addrs := strings.Split(workerList, ",")
+	if workerList == "" || len(addrs) == 0 {
+		fatal(fmt.Errorf("coordinator mode needs -workers"))
+	}
+	var machines []cluster.Machine
+	for _, addr := range addrs {
+		m, err := cluster.DialMachine(strings.TrimSpace(addr))
+		if err != nil {
+			fatal(fmt.Errorf("dial %s: %w", addr, err))
+		}
+		defer m.Close()
+		machines = append(machines, m)
+	}
+	coord, err := cluster.NewCoordinator(machines...)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := coord.Query(node)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query %d over %d workers: %v wall, %.1f KB received\n",
+		node, len(machines), stats.Wall.Round(time.Microsecond), float64(stats.BytesReceived)/1024)
+	for i, e := range stats.Result.TopK(topk) {
+		fmt.Printf("%3d. node %-8d %.6f\n", i+1, e.ID, e.Score)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pprserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Package exactppr computes EXACT Personalized PageRank Vectors (PPVs)
+// on a coordinator-based share-nothing cluster with a single round of
+// communication per query, reproducing "Distributed Algorithms on Exact
+// Personalized PageRank" (Guo, Cao, Cong, Lu, Lin — SIGMOD 2017).
+//
+// The library decomposes the graph with a built-in METIS-style multilevel
+// partitioner into a hierarchy of subgraphs separated by hub nodes,
+// pre-computes Jeh–Widom partial vectors and hubs skeleton vectors per
+// subgraph (HGPA; GPA is the single-level special case), and answers any
+// single-node PPV query exactly: each machine folds its hub slice into
+// one sparse vector, and the coordinator sums them.
+//
+// Quick start:
+//
+//	g, _ := exactppr.LoadEdgeListFile("graph.txt")
+//	store, _ := exactppr.BuildHGPA(g, exactppr.HierarchyOptions{}, exactppr.DefaultParams(), 0)
+//	ppv, _ := store.Query(42)
+//	for _, e := range ppv.TopK(10) {
+//	    fmt.Println(e.ID, e.Score)
+//	}
+//
+// For a real cluster, persist the store with SaveStore, Split it across
+// machines, serve each shard with cluster workers (see cmd/pprserve and
+// examples/distributed), and point a Coordinator at them.
+package exactppr
+
+import (
+	"io"
+
+	"exactppr/internal/cluster"
+	"exactppr/internal/core"
+	"exactppr/internal/gen"
+	"exactppr/internal/graph"
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/ppr"
+	"exactppr/internal/sparse"
+)
+
+// Re-exported types. Aliases keep the public surface in one import path
+// while the implementation lives in focused internal packages.
+type (
+	// Graph is an immutable directed graph in CSR form.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges for a Graph.
+	GraphBuilder = graph.Builder
+	// Vector is a sparse PPV (node id → score).
+	Vector = sparse.Vector
+	// Entry is one (id, score) element of a Vector.
+	Entry = sparse.Entry
+	// Params are the PPR parameters (teleport α, tolerance ε).
+	Params = ppr.Params
+	// HierarchyOptions tunes the recursive partitioning.
+	HierarchyOptions = hierarchy.Options
+	// Hierarchy is the tree of subgraphs with per-level hub sets.
+	Hierarchy = hierarchy.Hierarchy
+	// Store is the HGPA pre-computation plus exact query construction.
+	Store = core.Store
+	// Shard is one machine's slice of a Store.
+	Shard = core.Shard
+	// Coordinator fans queries out to machines and sums the shares.
+	Coordinator = cluster.Coordinator
+	// QueryStats reports one distributed query (result, bytes, times).
+	QueryStats = cluster.QueryStats
+	// Machine is the worker-side query interface.
+	Machine = cluster.Machine
+	// ShardMachine is an in-process Machine over a Shard.
+	ShardMachine = cluster.ShardMachine
+	// NetworkModel converts rounds and bytes into modeled wire time.
+	NetworkModel = cluster.NetworkModel
+	// GenConfig parameterizes the synthetic community-graph generator.
+	GenConfig = gen.Config
+)
+
+// DefaultParams returns the paper's defaults: α = 0.15, ε = 1e-4.
+func DefaultParams() Params { return ppr.Defaults() }
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// LoadEdgeList reads a SNAP-format edge list.
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.LoadEdgeList(r) }
+
+// LoadEdgeListFile reads a SNAP-format edge list from a file.
+func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
+
+// GenerateCommunityGraph produces a synthetic directed graph with planted
+// community structure (see gen.Config) — handy for experiments when real
+// data is unavailable.
+func GenerateCommunityGraph(cfg GenConfig) (*Graph, error) { return gen.Community(cfg) }
+
+// GenerateDataset produces a named analogue of the paper's datasets
+// (email, web, youtube, pld, pld_full) at the given scale.
+func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
+	return gen.Dataset(name, scale, seed)
+}
+
+// BuildHGPA partitions g hierarchically and runs the full
+// pre-computation with `workers` parallel workers (0 = all cores).
+func BuildHGPA(g *Graph, opts HierarchyOptions, params Params, workers int) (*Store, error) {
+	return core.BuildHGPA(g, opts, params, workers)
+}
+
+// BuildGPA is the single-level variant: m balanced parts, one hub set.
+func BuildGPA(g *Graph, m int, params Params, workers int, seed int64) (*Store, error) {
+	return core.BuildGPA(g, m, params, workers, seed)
+}
+
+// Split divides a store across n machines (the paper's hub-distributed
+// load balancing).
+func Split(s *Store, n int) ([]*Shard, error) { return core.Split(s, n) }
+
+// NewLocalCluster shards a store across n in-process machines behind a
+// coordinator.
+func NewLocalCluster(s *Store, n int) (*Coordinator, error) {
+	return cluster.NewLocalCluster(s, n)
+}
+
+// NewCoordinator wires a coordinator over explicit machines (e.g. TCP
+// workers dialed with DialMachine).
+func NewCoordinator(machines ...Machine) (*Coordinator, error) {
+	return cluster.NewCoordinator(machines...)
+}
+
+// DialMachine connects to a pprserve worker.
+func DialMachine(addr string) (*cluster.TCPMachine, error) { return cluster.DialMachine(addr) }
+
+// PowerIteration computes a PPV by plain power iteration — the exactness
+// oracle and the baseline the paper beats.
+func PowerIteration(g *Graph, q int32, p Params) (Vector, error) {
+	return ppr.PowerIteration(g, q, p)
+}
+
+// PowerIterationSet computes the PPV of a preference node set (uniform
+// preference), using the linearity property of PPVs.
+func PowerIterationSet(g *Graph, pref []int32, p Params) (Vector, error) {
+	return ppr.PowerIterationSet(g, pref, p)
+}
+
+// Preference is a weighted preference node set for QuerySet.
+type Preference = core.Preference
+
+// DiskStore answers exact queries straight from a store file, for
+// pre-computations larger than memory.
+type DiskStore = core.DiskStore
+
+// OpenDiskStore opens a store file for on-demand (disk-resident)
+// querying; see core.DiskStore.
+func OpenDiskStore(path string) (*DiskStore, error) { return core.OpenDiskStore(path) }
+
+// SaveStore persists a store; LoadStore restores it.
+func SaveStore(w io.Writer, s *Store) error { return core.Save(w, s) }
+
+// SaveStoreFile persists a store to a file path.
+func SaveStoreFile(path string, s *Store) error { return core.SaveFile(path, s) }
+
+// LoadStore reads a store written by SaveStore.
+func LoadStore(r io.Reader) (*Store, error) { return core.Load(r) }
+
+// LoadStoreFile reads a store from a file path.
+func LoadStoreFile(path string) (*Store, error) { return core.LoadFile(path) }

@@ -1,0 +1,78 @@
+// Communities: seed-set community scoring via PPV mass — the local
+// community detection application of personalized PageRank (Andersen,
+// Gleich). Given a few seed members, the PPV of the seed set concentrates
+// its probability mass inside the seeds' community; ranking nodes by PPV
+// score recovers the community.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exactppr"
+)
+
+func main() {
+	const (
+		nodes       = 600
+		communities = 6
+	)
+	g, err := exactppr.GenerateCommunityGraph(exactppr.GenConfig{
+		Nodes:        nodes,
+		AvgOutDegree: 6,
+		Communities:  communities,
+		InterFrac:    0.05,
+		MinOutDegree: 2,
+		Seed:         11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	communityOf := func(u int32) int { return int(u) * communities / nodes }
+
+	// Three seed members of community 2.
+	lo := int32(2 * nodes / communities)
+	seeds := []int32{lo + 3, lo + 17, lo + 40}
+
+	// The PPV of a preference SET uses the linearity property of [25]:
+	// it is the average of the members' PPVs. Power iteration supports
+	// preference sets directly; for the pre-computed path, average the
+	// per-seed store queries.
+	store, err := exactppr.BuildHGPA(g, exactppr.HierarchyOptions{Seed: 11}, exactppr.DefaultParams(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	combined := exactppr.Vector{}
+	for _, s := range seeds {
+		v, err := store.Query(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		combined.AddScaled(v, 1/float64(len(seeds)))
+	}
+
+	// Score communities by captured PPV mass.
+	mass := make([]float64, communities)
+	for id, score := range combined {
+		mass[communityOf(id)] += score
+	}
+	fmt.Println("PPV mass per community (seeds live in community 2):")
+	for c, m := range mass {
+		bar := ""
+		for i := 0; i < int(m*60); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  community %d: %.4f %s\n", c, m, bar)
+	}
+
+	// Recover the community: top-|community| nodes by PPV score.
+	size := nodes / communities
+	hit := 0
+	for _, e := range combined.TopK(size) {
+		if communityOf(e.ID) == 2 {
+			hit++
+		}
+	}
+	fmt.Printf("top-%d nodes by PPV: %d/%d inside the seed community (%.0f%% precision)\n",
+		size, hit, size, 100*float64(hit)/float64(size))
+}

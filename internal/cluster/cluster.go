@@ -1,0 +1,230 @@
+// Package cluster implements the paper's coordinator-based share-nothing
+// platform (§3.1, Figure 8): n machines each hold one shard of the
+// pre-computation; a query is broadcast, every machine answers with ONE
+// sparse vector, and the coordinator sums them. That single round trip
+// per machine is the paper's headline communication property, and this
+// package accounts the bytes of every response so the communication-cost
+// experiments (Figures 13, 22, 28) measure real encoded payloads.
+//
+// Two transports are provided: in-process machines (goroutines over
+// shards — used by benchmarks, zero network noise) and TCP machines
+// (length-prefixed frames over real sockets — used by the distributed
+// example and integration tests). Both speak through the Machine
+// interface, so the Coordinator is transport-agnostic.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"exactppr/internal/core"
+	"exactppr/internal/sparse"
+)
+
+// Machine answers PPV queries with this machine's additive share.
+// Implementations must be safe for concurrent calls.
+type Machine interface {
+	// QueryShare returns the machine's share of the PPV of u, encoded in
+	// the sparse wire format, plus the machine-local compute time.
+	QueryShare(u int32) (payload []byte, compute time.Duration, err error)
+	// QuerySetShare is the preference-set variant (PPV linearity, §2):
+	// the machine's share of the weighted-set PPV, still one vector.
+	QuerySetShare(p core.Preference) (payload []byte, compute time.Duration, err error)
+}
+
+// ShardMachine is an in-process Machine over a core.Shard.
+type ShardMachine struct {
+	Shard *core.Shard
+}
+
+// QueryShare implements Machine. The share is encoded even in-process so
+// byte accounting matches what a network transport would carry.
+func (m *ShardMachine) QueryShare(u int32) ([]byte, time.Duration, error) {
+	start := time.Now()
+	v, err := m.Shard.QueryVector(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload := sparse.Encode(v)
+	return payload, time.Since(start), nil
+}
+
+// QuerySetShare implements Machine for preference sets.
+func (m *ShardMachine) QuerySetShare(p core.Preference) ([]byte, time.Duration, error) {
+	start := time.Now()
+	v, err := m.Shard.QuerySetVector(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload := sparse.Encode(v)
+	return payload, time.Since(start), nil
+}
+
+// QueryStats reports one distributed query.
+type QueryStats struct {
+	Result sparse.Vector
+	// BytesReceived is the total payload the coordinator received — the
+	// paper's communication-cost metric.
+	BytesReceived int64
+	// MachineTime holds each machine's compute time; the paper reports
+	// the maximum as the query runtime (§6.2.2).
+	MachineTime []time.Duration
+	// Wall is the coordinator's end-to-end time (fan-out + sum).
+	Wall time.Duration
+}
+
+// MaxMachineTime returns the slowest machine's compute time.
+func (qs *QueryStats) MaxMachineTime() time.Duration {
+	var m time.Duration
+	for _, d := range qs.MachineTime {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Coordinator fans a query out to all machines once and sums the shares.
+type Coordinator struct {
+	machines []Machine
+}
+
+// NewCoordinator returns a coordinator over the given machines.
+func NewCoordinator(machines ...Machine) (*Coordinator, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("cluster: no machines")
+	}
+	return &Coordinator{machines: machines}, nil
+}
+
+// NumMachines returns the cluster size.
+func (c *Coordinator) NumMachines() int { return len(c.machines) }
+
+// Query runs one exact PPV query: one request to each machine, one vector
+// back from each, summed locally. Machines are called concurrently.
+func (c *Coordinator) Query(u int32) (*QueryStats, error) {
+	start := time.Now()
+	type reply struct {
+		idx     int
+		payload []byte
+		compute time.Duration
+		err     error
+	}
+	replies := make([]reply, len(c.machines))
+	var wg sync.WaitGroup
+	wg.Add(len(c.machines))
+	for i, m := range c.machines {
+		go func(i int, m Machine) {
+			defer wg.Done()
+			payload, compute, err := m.QueryShare(u)
+			replies[i] = reply{i, payload, compute, err}
+		}(i, m)
+	}
+	wg.Wait()
+
+	stats := &QueryStats{
+		Result:      sparse.New(256),
+		MachineTime: make([]time.Duration, len(c.machines)),
+	}
+	for _, rp := range replies {
+		if rp.err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", rp.idx, rp.err)
+		}
+		v, err := sparse.Decode(rp.payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d payload: %w", rp.idx, err)
+		}
+		stats.BytesReceived += int64(len(rp.payload))
+		stats.MachineTime[rp.idx] = rp.compute
+		stats.Result.AddScaled(v, 1)
+	}
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+// QuerySet runs the one-round protocol for a preference node set: each
+// machine folds its weighted-set share, the coordinator sums. Exactness
+// follows from PPV linearity plus the shard decomposition.
+func (c *Coordinator) QuerySet(p core.Preference) (*QueryStats, error) {
+	start := time.Now()
+	type reply struct {
+		idx     int
+		payload []byte
+		compute time.Duration
+		err     error
+	}
+	replies := make([]reply, len(c.machines))
+	var wg sync.WaitGroup
+	wg.Add(len(c.machines))
+	for i, m := range c.machines {
+		go func(i int, m Machine) {
+			defer wg.Done()
+			payload, compute, err := m.QuerySetShare(p)
+			replies[i] = reply{i, payload, compute, err}
+		}(i, m)
+	}
+	wg.Wait()
+	stats := &QueryStats{
+		Result:      sparse.New(256),
+		MachineTime: make([]time.Duration, len(c.machines)),
+	}
+	for _, rp := range replies {
+		if rp.err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", rp.idx, rp.err)
+		}
+		v, err := sparse.Decode(rp.payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d payload: %w", rp.idx, err)
+		}
+		stats.BytesReceived += int64(len(rp.payload))
+		stats.MachineTime[rp.idx] = rp.compute
+		stats.Result.AddScaled(v, 1)
+	}
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+// QuerySequential runs the same one-round protocol but calls machines one
+// after another. The result and byte accounting are identical to Query;
+// per-machine compute times are unbiased because machines never compete
+// for host cores. Experiments use MaxMachineTime() of a sequential run as
+// the distributed query runtime (the paper reports "the maximum runtime
+// across all machines", §6.2.2), which keeps the numbers meaningful even
+// when the simulation host has fewer cores than simulated machines.
+func (c *Coordinator) QuerySequential(u int32) (*QueryStats, error) {
+	start := time.Now()
+	stats := &QueryStats{
+		Result:      sparse.New(256),
+		MachineTime: make([]time.Duration, len(c.machines)),
+	}
+	for i, m := range c.machines {
+		payload, compute, err := m.QueryShare(u)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+		}
+		v, err := sparse.Decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: machine %d payload: %w", i, err)
+		}
+		stats.BytesReceived += int64(len(payload))
+		stats.MachineTime[i] = compute
+		stats.Result.AddScaled(v, 1)
+	}
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+// NewLocalCluster shards a store across n in-process machines and returns
+// the coordinator — the standard benchmark setup.
+func NewLocalCluster(s *core.Store, n int) (*Coordinator, error) {
+	shards, err := core.Split(s, n)
+	if err != nil {
+		return nil, err
+	}
+	machines := make([]Machine, n)
+	for i, sh := range shards {
+		machines[i] = &ShardMachine{Shard: sh}
+	}
+	return NewCoordinator(machines...)
+}

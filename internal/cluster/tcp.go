@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"exactppr/internal/core"
+)
+
+// The TCP wire protocol, deliberately minimal (stdlib only, no RPC
+// framework): every frame is a 1-byte opcode, a 4-byte little-endian
+// length, and the payload.
+//
+//	opQuery    coordinator → worker   payload = int32 query node
+//	opQuerySet coordinator → worker   payload = int32 count, count ×
+//	                                  (int32 node, float64 weight)
+//	opShare    worker → coordinator   payload = sparse-encoded vector +
+//	                                  8-byte compute-time (ns) prefix
+//	opError    worker → coordinator   payload = error text
+const (
+	opQuery    byte = 1
+	opShare    byte = 2
+	opError    byte = 3
+	opQuerySet byte = 4
+)
+
+const maxFrame = 1 << 28 // 256 MiB guard against corrupt lengths
+
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	hdr := [5]byte{op}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// Serve runs a worker loop over l: each accepted connection handles a
+// stream of query frames against the given machine until EOF. Serve
+// returns when the listener is closed.
+func Serve(l net.Listener, m Machine) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go serveConn(conn, m)
+	}
+}
+
+func serveConn(conn net.Conn, m Machine) {
+	defer conn.Close()
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		var share []byte
+		var compute time.Duration
+		switch {
+		case op == opQuery && len(payload) == 4:
+			u := int32(binary.LittleEndian.Uint32(payload))
+			share, compute, err = m.QueryShare(u)
+		case op == opQuerySet:
+			pref, perr := decodePreference(payload)
+			if perr != nil {
+				writeFrame(conn, opError, []byte(perr.Error()))
+				continue
+			}
+			share, compute, err = m.QuerySetShare(pref)
+		default:
+			writeFrame(conn, opError, []byte("bad request"))
+			return
+		}
+		if err != nil {
+			if werr := writeFrame(conn, opError, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		buf := make([]byte, 8+len(share))
+		binary.LittleEndian.PutUint64(buf, uint64(compute))
+		copy(buf[8:], share)
+		if err := writeFrame(conn, opShare, buf); err != nil {
+			return
+		}
+	}
+}
+
+// TCPMachine is a Machine backed by a remote worker over one TCP
+// connection. Calls are serialized per connection (the coordinator issues
+// one query per machine per round anyway).
+type TCPMachine struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialMachine connects to a worker at addr.
+func DialMachine(addr string) (*TCPMachine, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPMachine{conn: conn}, nil
+}
+
+// Close shuts the connection down.
+func (t *TCPMachine) Close() error { return t.conn.Close() }
+
+// QueryShare implements Machine over the wire.
+func (t *TCPMachine) QueryShare(u int32) ([]byte, time.Duration, error) {
+	var req [4]byte
+	binary.LittleEndian.PutUint32(req[:], uint32(u))
+	return t.roundTrip(opQuery, req[:])
+}
+
+// QuerySetShare implements Machine for preference sets over the wire.
+func (t *TCPMachine) QuerySetShare(p core.Preference) ([]byte, time.Duration, error) {
+	return t.roundTrip(opQuerySet, encodePreference(p))
+}
+
+func (t *TCPMachine) roundTrip(op byte, req []byte) ([]byte, time.Duration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := writeFrame(t.conn, op, req); err != nil {
+		return nil, 0, err
+	}
+	rop, payload, err := readFrame(t.conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch rop {
+	case opShare:
+		if len(payload) < 8 {
+			return nil, 0, fmt.Errorf("cluster: short share frame")
+		}
+		compute := time.Duration(binary.LittleEndian.Uint64(payload))
+		return payload[8:], compute, nil
+	case opError:
+		return nil, 0, fmt.Errorf("cluster: worker: %s", payload)
+	default:
+		return nil, 0, fmt.Errorf("cluster: unexpected opcode %d", rop)
+	}
+}
+
+// encodePreference serializes a preference set for opQuerySet. Uniform
+// weights are carried as explicit 1.0s for a simple fixed layout.
+func encodePreference(p core.Preference) []byte {
+	buf := make([]byte, 4+12*len(p.Nodes))
+	binary.LittleEndian.PutUint32(buf, uint32(len(p.Nodes)))
+	off := 4
+	for i, u := range p.Nodes {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(u))
+		w := 1.0
+		if p.Weights != nil {
+			w = p.Weights[i]
+		}
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(w))
+		off += 12
+	}
+	return buf
+}
+
+func decodePreference(buf []byte) (core.Preference, error) {
+	if len(buf) < 4 {
+		return core.Preference{}, fmt.Errorf("cluster: short preference frame")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) != 4+12*n {
+		return core.Preference{}, fmt.Errorf("cluster: preference frame length mismatch")
+	}
+	p := core.Preference{Nodes: make([]int32, n), Weights: make([]float64, n)}
+	off := 4
+	for i := 0; i < n; i++ {
+		p.Nodes[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		p.Weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		off += 12
+	}
+	return p, nil
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"exactppr/internal/core"
+)
+
+// TestOversizedFrameRejected: the frame-length guard protects the worker
+// from corrupt or malicious length prefixes.
+func TestOversizedFrameRejected(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		var hdr [5]byte
+		hdr[0] = opQuery
+		binary.LittleEndian.PutUint32(hdr[1:], uint32(maxFrame+1))
+		client.Write(hdr[:])
+	}()
+	if _, _, err := readFrame(server); err == nil {
+		t.Fatal("oversized frame must be rejected")
+	}
+}
+
+// TestWorkerDropsMalformedRequest: a garbage opcode terminates the
+// connection (opError then close) without crashing the worker loop.
+func TestWorkerDropsMalformedRequest(t *testing.T) {
+	s := testStore(t)
+	shards, _ := core_Split(t, s)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, &ShardMachine{Shard: shards[0]})
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, 99, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	op, _, err := readFrame(conn)
+	if err != nil {
+		t.Fatalf("expected an error frame, got %v", err)
+	}
+	if op != opError {
+		t.Fatalf("op = %d, want opError", op)
+	}
+	// The worker then closes; the NEXT worker connection must still work.
+	m, err := DialMachine(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, _, err := m.QueryShare(1); err != nil {
+		t.Fatalf("listener should survive a bad client: %v", err)
+	}
+}
+
+// TestCoordinatorPropagatesDeadMachine: a machine whose connection died
+// turns into a clean coordinator error, not a hang.
+func TestCoordinatorPropagatesDeadMachine(t *testing.T) {
+	s := testStore(t)
+	shards, _ := core_Split(t, s)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, &ShardMachine{Shard: shards[0]})
+	m, err := DialMachine(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	m.Close() // kill the transport under the coordinator
+	if _, err := c.Query(1); err == nil {
+		t.Fatal("dead machine must surface as an error")
+	}
+}
+
+func core_Split(t *testing.T, s *core.Store) ([]*core.Shard, error) {
+	t.Helper()
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards, nil
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"exactppr/internal/graph"
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/ppr"
+)
+
+// BuildGPA builds the single-level graph-partition store of §3: the graph
+// is divided into m balanced parts, the bridging nodes become the (only)
+// hub set, and the non-hub "leaf" vectors are the local PPVs of the
+// parts' virtual subgraphs — which by Theorem 2 equal the partial vectors
+// GPA stores. GPA is thus the depth-1 special case of HGPA, sharing the
+// same exact construction.
+func BuildGPA(g *graph.Graph, m int, params ppr.Params, workers int, seed int64) (*Store, error) {
+	h, err := hierarchy.Build(g, hierarchy.Options{
+		Fanout:    m,
+		MaxLevels: 1,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Precompute(h, params, workers)
+}
+
+// BuildHGPA builds the full hierarchical store of §4: recursive two-way
+// (or fanout-way) partitioning down to edge-free subgraphs, hub sets per
+// level, and the complete pre-computation of §5.
+func BuildHGPA(g *graph.Graph, opts hierarchy.Options, params ppr.Params, workers int) (*Store, error) {
+	h, err := hierarchy.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Precompute(h, params, workers)
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"exactppr/internal/graph"
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/ppr"
+	"exactppr/internal/sparse"
+)
+
+// DiskStore answers exact PPV queries straight from a store file written
+// by Save/SaveFile, reading vectors on demand instead of materializing
+// them in memory. The paper points out that pre-computed vectors "could
+// likely be larger than available main memory" and suggests a disk-based
+// implementation (§5.2); this is that implementation. Only the graph, the
+// hierarchy, and an offset index live in RAM — vector payloads are read
+// with ReadAt and kept in a small bounded cache.
+//
+// DiskStore is safe for concurrent queries.
+type DiskStore struct {
+	H      *hierarchy.Hierarchy
+	Params ppr.Params
+
+	f   *os.File
+	idx [3]map[int32]span // hub partials, skeletons, leaf PPVs
+
+	mu    sync.Mutex
+	cache map[cacheKey]sparse.Vector
+	// CacheCap bounds the number of cached vectors (default 1024).
+	cacheCap int
+}
+
+type span struct {
+	off int64
+	len int32
+}
+
+type cacheKey struct {
+	section int8
+	key     int32
+}
+
+const (
+	secHubPartial = 0
+	secSkeleton   = 1
+	secLeafPPV    = 2
+)
+
+// OpenDiskStore opens a store file for on-demand querying. The header,
+// graph, and hierarchy are loaded; vector payloads are indexed by offset
+// and skipped.
+func OpenDiskStore(path string) (*DiskStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := indexStoreFile(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ds, nil
+}
+
+// Close releases the underlying file.
+func (d *DiskStore) Close() error { return d.f.Close() }
+
+// SetCacheCap bounds the in-memory vector cache (minimum 1).
+func (d *DiskStore) SetCacheCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.mu.Lock()
+	d.cacheCap = n
+	for k := range d.cache {
+		if len(d.cache) <= n {
+			break
+		}
+		delete(d.cache, k)
+	}
+	d.mu.Unlock()
+}
+
+func indexStoreFile(f *os.File) (*DiskStore, error) {
+	// Parse the header exactly as Load does, but track byte positions so
+	// the vector payloads can be skipped and indexed.
+	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("core: not a store file")
+	}
+	var params ppr.Params
+	var opts hierarchy.Options
+	hdr := []any{
+		&params.Alpha, &params.Eps,
+	}
+	for _, p := range hdr {
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	var maxIter, dangling int32
+	if err := binary.Read(cr, binary.LittleEndian, &maxIter); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &dangling); err != nil {
+		return nil, err
+	}
+	params.MaxIter = int(maxIter)
+	params.Dangling = ppr.DanglingPolicy(dangling)
+
+	var fanout, maxLevels, minSize int32
+	var imbalance float64
+	var seed int64
+	for _, p := range []any{&fanout, &maxLevels, &minSize, &imbalance, &seed} {
+		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	opts.Fanout = int(fanout)
+	opts.MaxLevels = int(maxLevels)
+	opts.MinSize = int(minSize)
+	opts.Imbalance = imbalance
+	opts.Seed = seed
+
+	var n, m int32
+	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("core: corrupt header")
+	}
+	b := graph.NewBuilder(int(n))
+	for e := int32(0); e < m; e++ {
+		var u, v int32
+		if err := binary.Read(cr, binary.LittleEndian, &u); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	h, err := hierarchy.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DiskStore{
+		H: h, Params: params, f: f,
+		cache: make(map[cacheKey]sparse.Vector), cacheCap: 1024,
+	}
+	for sec := 0; sec < 3; sec++ {
+		var count int32
+		if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
+			return nil, err
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("core: corrupt section count")
+		}
+		idx := make(map[int32]span, count)
+		for i := int32(0); i < count; i++ {
+			var key, vlen int32
+			if err := binary.Read(cr, binary.LittleEndian, &key); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &vlen); err != nil {
+				return nil, err
+			}
+			if vlen < 0 {
+				return nil, fmt.Errorf("core: corrupt vector length")
+			}
+			idx[key] = span{off: cr.n, len: vlen}
+			if err := cr.skip(int64(vlen)); err != nil {
+				return nil, err
+			}
+		}
+		ds.idx[sec] = idx
+	}
+	return ds, nil
+}
+
+// countingReader tracks the absolute file offset while reading through a
+// buffered reader.
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) skip(n int64) error {
+	k, err := c.r.Discard(int(n))
+	c.n += int64(k)
+	return err
+}
+
+// fetch reads (and caches) one vector.
+func (d *DiskStore) fetch(section int8, key int32) (sparse.Vector, error) {
+	ck := cacheKey{section, key}
+	d.mu.Lock()
+	if v, ok := d.cache[ck]; ok {
+		d.mu.Unlock()
+		return v, nil
+	}
+	d.mu.Unlock()
+
+	sp, ok := d.idx[section][key]
+	if !ok {
+		return nil, fmt.Errorf("core: no vector for section %d key %d", section, key)
+	}
+	buf := make([]byte, sp.len)
+	if _, err := d.f.ReadAt(buf, sp.off); err != nil {
+		return nil, err
+	}
+	v, err := sparse.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if len(d.cache) >= d.cacheCap {
+		// Bounded cache with arbitrary eviction: map iteration order is
+		// effectively random, which is good enough for a working set that
+		// follows query locality.
+		for k := range d.cache {
+			delete(d.cache, k)
+			break
+		}
+	}
+	d.cache[ck] = v
+	d.mu.Unlock()
+	return v, nil
+}
+
+// Query constructs the exact PPV of u reading vectors from disk — the
+// same identity as Store.Query.
+func (d *DiskStore) Query(u int32) (sparse.Vector, error) {
+	if u < 0 || int(u) >= d.H.G.NumNodes() {
+		return nil, fmt.Errorf("core: query node %d out of range", u)
+	}
+	alpha := d.Params.Alpha
+	r := sparse.New(256)
+	for _, node := range d.H.Path(u) {
+		for _, h := range node.Hubs {
+			skel, err := d.fetch(secSkeleton, h)
+			if err != nil {
+				return nil, err
+			}
+			su := skel.Get(u)
+			if h == u {
+				su -= alpha
+			}
+			if su == 0 {
+				continue
+			}
+			partial, err := d.fetch(secHubPartial, h)
+			if err != nil {
+				return nil, err
+			}
+			r.AddScaled(partial, su/alpha)
+			r.Add(h, su)
+		}
+	}
+	if d.H.IsHub(u) {
+		partial, err := d.fetch(secHubPartial, u)
+		if err != nil {
+			return nil, err
+		}
+		r.AddScaled(partial, 1)
+		r.Add(u, alpha)
+		return r, nil
+	}
+	leaf, err := d.fetch(secLeafPPV, u)
+	if err != nil {
+		return nil, err
+	}
+	r.AddScaled(leaf, 1)
+	return r, nil
+}

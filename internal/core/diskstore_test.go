@@ -1,0 +1,126 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/sparse"
+)
+
+func diskStoreFixture(t *testing.T) (*Store, *DiskStore) {
+	t.Helper()
+	g := testGraph(t, 60)
+	s, err := BuildHGPA(g, hierarchy.Options{Seed: 60}, tightParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.store")
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	return s, ds
+}
+
+func TestDiskStoreMatchesMemory(t *testing.T) {
+	s, ds := diskStoreFixture(t)
+	queries := sampleQueries(s)
+	for _, u := range queries {
+		want, err := s.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ds.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.LInfDistance(got, want); d != 0 {
+			t.Fatalf("u=%d: disk store differs by %v", u, d)
+		}
+	}
+}
+
+func TestDiskStoreTinyCache(t *testing.T) {
+	s, ds := diskStoreFixture(t)
+	ds.SetCacheCap(2) // force constant eviction
+	for _, u := range []int32{0, 50, 100, 150, 0, 50} {
+		want, err := s.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ds.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.LInfDistance(got, want); d != 0 {
+			t.Fatalf("u=%d with tiny cache: %v", u, d)
+		}
+	}
+	ds.SetCacheCap(0) // clamps to 1
+}
+
+func TestDiskStoreConcurrent(t *testing.T) {
+	s, ds := diskStoreFixture(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(u int32) {
+			defer wg.Done()
+			got, err := ds.Query(u)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, err := s.Query(u)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if sparse.LInfDistance(got, want) != 0 {
+				errs <- &mismatchError{u}
+			}
+		}(int32(i * 20))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ u int32 }
+
+func (e *mismatchError) Error() string { return "concurrent disk query mismatch" }
+
+func TestDiskStoreErrors(t *testing.T) {
+	_, ds := diskStoreFixture(t)
+	if _, err := ds.Query(-1); err == nil {
+		t.Fatal("bad query should fail")
+	}
+	if _, err := OpenDiskStore(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestDiskStoreRejectsGarbageFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.store")
+	if err := writeFileHelper(path, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(path); err == nil {
+		t.Fatal("garbage file should fail")
+	}
+}
+
+func writeFileHelper(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"exactppr/internal/graph"
+	"exactppr/internal/ppr"
+	"exactppr/internal/sparse"
+)
+
+// JWStore is the brute-force extension of Jeh–Widom described in §2.3
+// (PPV-JW): a FLAT hub set chosen by PageRank (not a separator), partial
+// vectors pre-computed for every node, and skeleton vectors for every
+// hub. It answers any query exactly, at the O(|V|²)-worst-case space the
+// paper's partitioned algorithms exist to avoid — the space baseline of
+// §3.2.
+type JWStore struct {
+	G      *graph.Graph
+	Params ppr.Params
+	Hubs   []int32 // sorted
+
+	// Partial[u] = P_u for hubs (adjusted) and p_u for non-hubs, global
+	// id space. Kept adjusted uniformly: self entry of hub removed.
+	Partial map[int32]sparse.Vector
+	// Skeleton[h](w) = s_w(h) = r_w(h) for every node w.
+	Skeleton map[int32]sparse.Vector
+
+	isHub []bool
+}
+
+// PrecomputeJW builds the PPV-JW baseline with the hubCount top-PageRank
+// nodes as hubs.
+func PrecomputeJW(g *graph.Graph, hubCount int, params ppr.Params, workers int) (*JWStore, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if hubCount < 0 || hubCount > g.NumNodes() {
+		return nil, fmt.Errorf("core: hubCount %d out of range", hubCount)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	hubs, err := ppr.TopPageRank(g, hubCount, params)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+	s := &JWStore{
+		G:        g,
+		Params:   params,
+		Hubs:     hubs,
+		Partial:  make(map[int32]sparse.Vector, g.NumNodes()),
+		Skeleton: make(map[int32]sparse.Vector, len(hubs)),
+		isHub:    make([]bool, g.NumNodes()),
+	}
+	for _, h := range hubs {
+		s.isHub[h] = true
+	}
+	g.BuildReverse()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+		ch       = make(chan int32)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	worker := func() {
+		defer wg.Done()
+		for u := range ch {
+			partial, _, err := ppr.PartialVector(g, u, s.isHub, s.Params)
+			if err != nil {
+				fail(err)
+				continue
+			}
+			if s.isHub[u] {
+				delete(partial, u) // store P_u = p_u − α·x_u
+			}
+			var skel sparse.Vector
+			if s.isHub[u] {
+				dense, err := ppr.SkeletonForHub(g, u, s.Params)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				skel = sparse.FromDense(dense, 0)
+			}
+			mu.Lock()
+			s.Partial[u] = partial
+			if skel != nil {
+				s.Skeleton[u] = skel
+			}
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		ch <- u
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return s, nil
+}
+
+// Query constructs the exact PPV of u from the flat decomposition — the
+// same identity as Store.Query with a single "level".
+func (s *JWStore) Query(u int32) (sparse.Vector, error) {
+	if u < 0 || int(u) >= s.G.NumNodes() {
+		return nil, fmt.Errorf("core: query node %d out of range", u)
+	}
+	r := sparse.New(256)
+	for _, h := range s.Hubs {
+		su := s.Skeleton[h].Get(u)
+		if h == u {
+			su -= s.Params.Alpha
+		}
+		if su == 0 {
+			continue
+		}
+		r.AddScaled(s.Partial[h], su/s.Params.Alpha)
+		r.Add(h, su)
+	}
+	r.AddScaled(s.Partial[u], 1)
+	if s.isHub[u] {
+		r.Add(u, s.Params.Alpha) // restore p_u = P_u + α·x_u
+	}
+	return r, nil
+}
+
+// SpaceBytes reports the encoded size of all stored vectors.
+func (s *JWStore) SpaceBytes() int64 {
+	var total int64
+	for _, v := range s.Partial {
+		total += int64(sparse.EncodedSize(v))
+	}
+	for _, v := range s.Skeleton {
+		total += int64(sparse.EncodedSize(v))
+	}
+	return total
+}

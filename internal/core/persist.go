@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"exactppr/internal/graph"
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/ppr"
+	"exactppr/internal/sparse"
+)
+
+// Store persistence. The file carries the graph (as a binary edge list),
+// the hierarchy OPTIONS (hierarchy construction is deterministic for a
+// seed, so the tree is rebuilt rather than serialized — this also sidesteps
+// the parent-pointer cycles a naive encoder would choke on), the PPR
+// parameters, and the three vector sections.
+//
+// Layout (little-endian throughout):
+//
+//	magic "EXPPRST1"
+//	params:    alpha, eps float64; maxIter, dangling int32
+//	hierarchy: fanout, maxLevels, minSize int32; imbalance float64; seed int64
+//	graph:     n, m int32; m × (u, v int32)
+//	3 sections (hub partials, skeletons, leaf PPVs):
+//	           count int32; count × (key int32, vecLen int32, vec bytes)
+
+var storeMagic = [8]byte{'E', 'X', 'P', 'P', 'R', 'S', 'T', '1'}
+
+// Save writes the store to w.
+func Save(w io.Writer, s *Store) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(storeMagic[:]); err != nil {
+		return err
+	}
+	writeU64 := func(x uint64) { binary.Write(bw, binary.LittleEndian, x) }
+	writeI32 := func(x int32) { binary.Write(bw, binary.LittleEndian, x) }
+
+	writeU64(math.Float64bits(s.Params.Alpha))
+	writeU64(math.Float64bits(s.Params.Eps))
+	writeI32(int32(s.Params.MaxIter))
+	writeI32(int32(s.Params.Dangling))
+
+	o := s.H.Opts
+	writeI32(int32(o.Fanout))
+	writeI32(int32(o.MaxLevels))
+	writeI32(int32(o.MinSize))
+	writeU64(math.Float64bits(o.Imbalance))
+	writeU64(uint64(o.Seed))
+
+	g := s.H.G
+	writeI32(int32(g.NumNodes()))
+	writeI32(int32(g.NumEdges()))
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Out(u) {
+			writeI32(u)
+			writeI32(v)
+		}
+	}
+	for _, section := range []map[int32]sparse.Vector{s.HubPartial, s.Skeleton, s.LeafPPV} {
+		writeI32(int32(len(section)))
+		// Deterministic order is not required for correctness; iterate as-is.
+		for key, vec := range section {
+			writeI32(key)
+			enc := sparse.Encode(vec)
+			writeI32(int32(len(enc)))
+			if _, err := bw.Write(enc); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the store to a file path.
+func SaveFile(path string, s *Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store written by Save, rebuilding the hierarchy
+// deterministically from the stored options.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("core: not a store file (magic %q)", magic)
+	}
+	readU64 := func() (uint64, error) {
+		var x uint64
+		err := binary.Read(br, binary.LittleEndian, &x)
+		return x, err
+	}
+	readI32 := func() (int32, error) {
+		var x int32
+		err := binary.Read(br, binary.LittleEndian, &x)
+		return x, err
+	}
+	var params ppr.Params
+	if bits, err := readU64(); err != nil {
+		return nil, err
+	} else {
+		params.Alpha = math.Float64frombits(bits)
+	}
+	if bits, err := readU64(); err != nil {
+		return nil, err
+	} else {
+		params.Eps = math.Float64frombits(bits)
+	}
+	if x, err := readI32(); err != nil {
+		return nil, err
+	} else {
+		params.MaxIter = int(x)
+	}
+	if x, err := readI32(); err != nil {
+		return nil, err
+	} else {
+		params.Dangling = ppr.DanglingPolicy(x)
+	}
+
+	var opts hierarchy.Options
+	if x, err := readI32(); err != nil {
+		return nil, err
+	} else {
+		opts.Fanout = int(x)
+	}
+	if x, err := readI32(); err != nil {
+		return nil, err
+	} else {
+		opts.MaxLevels = int(x)
+	}
+	if x, err := readI32(); err != nil {
+		return nil, err
+	} else {
+		opts.MinSize = int(x)
+	}
+	if bits, err := readU64(); err != nil {
+		return nil, err
+	} else {
+		opts.Imbalance = math.Float64frombits(bits)
+	}
+	if bits, err := readU64(); err != nil {
+		return nil, err
+	} else {
+		opts.Seed = int64(bits)
+	}
+
+	n, err := readI32()
+	if err != nil {
+		return nil, err
+	}
+	m, err := readI32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("core: corrupt store header (n=%d m=%d)", n, m)
+	}
+	b := graph.NewBuilder(int(n))
+	for e := int32(0); e < m; e++ {
+		u, err := readI32()
+		if err != nil {
+			return nil, err
+		}
+		v, err := readI32()
+		if err != nil {
+			return nil, err
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("core: corrupt edge (%d,%d)", u, v)
+		}
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	h, err := hierarchy.Build(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{H: h, Params: params}
+	sections := []*map[int32]sparse.Vector{&s.HubPartial, &s.Skeleton, &s.LeafPPV}
+	for _, section := range sections {
+		count, err := readI32()
+		if err != nil {
+			return nil, err
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("core: corrupt section count %d", count)
+		}
+		mp := make(map[int32]sparse.Vector, count)
+		for i := int32(0); i < count; i++ {
+			key, err := readI32()
+			if err != nil {
+				return nil, err
+			}
+			vlen, err := readI32()
+			if err != nil {
+				return nil, err
+			}
+			if vlen < 0 || vlen > 1<<30 {
+				return nil, fmt.Errorf("core: corrupt vector length %d", vlen)
+			}
+			buf := make([]byte, vlen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			vec, err := sparse.Decode(buf)
+			if err != nil {
+				return nil, err
+			}
+			mp[key] = vec
+		}
+		*section = mp
+	}
+	// Consistency: every hub in the hierarchy must have its vectors.
+	for _, hub := range hubsOf(h) {
+		if _, ok := s.HubPartial[hub]; !ok {
+			return nil, fmt.Errorf("core: store missing partial for hub %d (seed/version drift?)", hub)
+		}
+		if _, ok := s.Skeleton[hub]; !ok {
+			return nil, fmt.Errorf("core: store missing skeleton for hub %d", hub)
+		}
+	}
+	return s, nil
+}
+
+// LoadFile reads a store from a file path.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func hubsOf(h *hierarchy.Hierarchy) []int32 {
+	var out []int32
+	for _, n := range h.Nodes() {
+		out = append(out, n.Hubs...)
+	}
+	return out
+}

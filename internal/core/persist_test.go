@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/sparse"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := testGraph(t, 40)
+	s, err := BuildHGPA(g, hierarchy.Options{Seed: 21}, tightParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.H.G.NumNodes() != g.NumNodes() || loaded.H.G.NumEdges() != g.NumEdges() {
+		t.Fatal("graph not restored")
+	}
+	if loaded.Params != s.Params {
+		t.Fatalf("params: %+v vs %+v", loaded.Params, s.Params)
+	}
+	if len(loaded.HubPartial) != len(s.HubPartial) ||
+		len(loaded.Skeleton) != len(s.Skeleton) ||
+		len(loaded.LeafPPV) != len(s.LeafPPV) {
+		t.Fatal("vector sections not restored")
+	}
+	// Queries through the loaded store must be bit-identical.
+	for _, u := range []int32{0, 99, 399} {
+		want, err := s.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Query(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.LInfDistance(got, want); d != 0 {
+			t.Fatalf("u=%d: loaded store differs, L∞ = %v", u, d)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := testGraph(t, 41)
+	s, err := BuildGPA(g, 3, tightParams(), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.bin")
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.Query(7)
+	got, _ := loaded.Query(7)
+	if d := sparse.LInfDistance(got, want); d != 0 {
+		t.Fatalf("file round trip differs: %v", d)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a store"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	// Truncated after a valid magic.
+	if _, err := Load(bytes.NewReader(storeMagic[:])); err == nil {
+		t.Fatal("truncated header should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"exactppr/internal/sparse"
+)
+
+// Preference-set queries. The PPV of a preference set P with weights w
+// is the w-weighted combination of the members' PPVs — the linearity
+// property of Jeh–Widom [25] that the paper's preliminaries build on
+// (§1, Eq. 1). Both the centralized store and the shards support it, so
+// the distributed protocol still needs exactly one vector per machine
+// per query.
+
+// Preference is a weighted preference node set. Weights must be positive;
+// they are normalized to sum to 1.
+type Preference struct {
+	Nodes   []int32
+	Weights []float64 // nil = uniform
+}
+
+// normalized validates the preference and returns per-node normalized
+// weights.
+func (p Preference) normalized(n int) ([]float64, error) {
+	if len(p.Nodes) == 0 {
+		return nil, fmt.Errorf("core: empty preference set")
+	}
+	if p.Weights != nil && len(p.Weights) != len(p.Nodes) {
+		return nil, fmt.Errorf("core: %d weights for %d nodes", len(p.Weights), len(p.Nodes))
+	}
+	seen := make(map[int32]bool, len(p.Nodes))
+	w := make([]float64, len(p.Nodes))
+	var total float64
+	for i, u := range p.Nodes {
+		if u < 0 || int(u) >= n {
+			return nil, fmt.Errorf("core: preference node %d out of range", u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("core: duplicate preference node %d", u)
+		}
+		seen[u] = true
+		wi := 1.0
+		if p.Weights != nil {
+			wi = p.Weights[i]
+			if wi <= 0 {
+				return nil, fmt.Errorf("core: non-positive weight %v for node %d", wi, u)
+			}
+		}
+		w[i] = wi
+		total += wi
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w, nil
+}
+
+// QuerySet constructs the exact PPV of a preference node set by linearity.
+func (s *Store) QuerySet(p Preference) (sparse.Vector, error) {
+	w, err := p.normalized(s.H.G.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	r := sparse.New(256)
+	for i, u := range p.Nodes {
+		ru, err := s.Query(u)
+		if err != nil {
+			return nil, err
+		}
+		r.AddScaled(ru, w[i])
+	}
+	return r, nil
+}
+
+// QuerySetVector is the shard-side preference-set fold: the weighted
+// combination of the shard's per-node shares. Summing all shards'
+// QuerySetVector outputs yields exactly QuerySet's result, still in one
+// round.
+func (sh *Shard) QuerySetVector(p Preference) (sparse.Vector, error) {
+	w, err := p.normalized(sh.store.H.G.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	r := sparse.New(64)
+	for i, u := range p.Nodes {
+		share, err := sh.QueryVector(u)
+		if err != nil {
+			return nil, err
+		}
+		r.AddScaled(share, w[i])
+	}
+	return r, nil
+}
+
+// QueryTopK returns the k highest-scoring nodes of u's exact PPV — the
+// common application-facing call (recommendation, link prediction).
+func (s *Store) QueryTopK(u int32, k int) ([]sparse.Entry, error) {
+	r, err := s.Query(u)
+	if err != nil {
+		return nil, err
+	}
+	return r.TopK(k), nil
+}

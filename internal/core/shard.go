@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"exactppr/internal/sparse"
+)
+
+// Shard is the slice of a Store assigned to one machine under the paper's
+// hub-distributed scheme (§4.4): every subgraph's hub set is divided
+// evenly across the s machines, and the leaf-level vectors are likewise
+// spread evenly. Each machine answers a query with ONE sparse vector; the
+// coordinator sums the vectors — the shard outputs form an exact additive
+// decomposition of the PPV (TestShardsSumToQuery).
+type Shard struct {
+	Index, Total int
+	store        *Store
+	// hubs owned by this shard, grouped per hierarchy node id so the
+	// query fold can walk Path(u) cheaply.
+	hubsByNode map[int][]int32
+	// leaves owned by this shard.
+	leaves map[int32]bool
+}
+
+// Split divides the store across n machines: each subgraph's hub list is
+// dealt round-robin with a GLOBAL cursor (so machines stay balanced even
+// though most tree nodes contribute only one or two hubs), and non-hub
+// node u's leaf vector goes to machine u mod n — the paper's even
+// division of hub sets and leaf subgraphs (§4.4).
+func Split(s *Store, n int) ([]*Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: cannot split into %d shards", n)
+	}
+	shards := make([]*Shard, n)
+	for i := range shards {
+		shards[i] = &Shard{
+			Index:      i,
+			Total:      n,
+			store:      s,
+			hubsByNode: make(map[int][]int32),
+			leaves:     make(map[int32]bool),
+		}
+	}
+	cursor := 0
+	for _, node := range s.H.Nodes() {
+		for _, h := range node.Hubs {
+			sh := shards[cursor%n]
+			cursor++
+			sh.hubsByNode[node.ID] = append(sh.hubsByNode[node.ID], h)
+		}
+	}
+	for u := range s.LeafPPV {
+		shards[int(u)%n].leaves[u] = true
+	}
+	return shards, nil
+}
+
+// QueryVector computes this machine's additive share of the PPV of u —
+// Algorithm 1 of the paper (with the skeleton hub-entry term included so
+// the shares stay exact; see the package comment).
+func (sh *Shard) QueryVector(u int32) (sparse.Vector, error) {
+	s := sh.store
+	if u < 0 || int(u) >= s.H.G.NumNodes() {
+		return nil, fmt.Errorf("core: query node %d out of range", u)
+	}
+	r := sparse.New(64)
+	for _, node := range s.H.Path(u) {
+		for _, h := range sh.hubsByNode[node.ID] {
+			s.addHubContribution(r, u, h)
+		}
+	}
+	// The final term belongs to whoever stores it: the owner of u's leaf
+	// vector, or of u's hub partial when u is a hub.
+	if s.H.IsHub(u) {
+		if sh.ownsHub(u) {
+			s.addFinalTerm(r, u)
+		}
+	} else if sh.leaves[u] {
+		s.addFinalTerm(r, u)
+	}
+	return r, nil
+}
+
+func (sh *Shard) ownsHub(h int32) bool {
+	node := sh.store.H.Home(h)
+	for _, x := range sh.hubsByNode[node.ID] {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryWork returns the number of sparse-vector entries this shard folds
+// to answer a query for u — a deterministic proxy for per-machine compute
+// that is immune to scheduling noise. The paper's load-balance claim
+// (§4.4) is that the MAX of this quantity across machines shrinks as
+// 1/machines; see the fig10 experiment.
+func (sh *Shard) QueryWork(u int32) (int64, error) {
+	s := sh.store
+	if u < 0 || int(u) >= s.H.G.NumNodes() {
+		return 0, fmt.Errorf("core: query node %d out of range", u)
+	}
+	var work int64
+	for _, node := range s.H.Path(u) {
+		for _, h := range sh.hubsByNode[node.ID] {
+			if s.Skeleton[h].Get(u) != 0 {
+				work += int64(s.HubPartial[h].Len()) + 1
+			}
+			work++ // skeleton lookup
+		}
+	}
+	if s.H.IsHub(u) {
+		if sh.ownsHub(u) {
+			work += int64(s.HubPartial[u].Len()) + 1
+		}
+	} else if sh.leaves[u] {
+		work += int64(s.LeafPPV[u].Len())
+	}
+	return work, nil
+}
+
+// HubCount returns the number of hubs assigned to the shard.
+func (sh *Shard) HubCount() int {
+	c := 0
+	for _, hs := range sh.hubsByNode {
+		c += len(hs)
+	}
+	return c
+}
+
+// LeafCount returns the number of leaf vectors assigned to the shard.
+func (sh *Shard) LeafCount() int { return len(sh.leaves) }
+
+// SpaceBytes reports the encoded size of the vectors THIS shard stores —
+// the per-machine space metric of §6.2.3 (no redundancy across machines).
+func (sh *Shard) SpaceBytes() int64 {
+	var total int64
+	s := sh.store
+	for _, hs := range sh.hubsByNode {
+		for _, h := range hs {
+			total += int64(sparse.EncodedSize(s.HubPartial[h]))
+			total += int64(sparse.EncodedSize(s.Skeleton[h]))
+		}
+	}
+	for u := range sh.leaves {
+		total += int64(sparse.EncodedSize(s.LeafPPV[u]))
+	}
+	return total
+}
+
+// OwnedHubs returns the hubs assigned to this shard (any order).
+func (sh *Shard) OwnedHubs() []int32 {
+	var out []int32
+	for _, hs := range sh.hubsByNode {
+		out = append(out, hs...)
+	}
+	return out
+}
+
+// OwnedLeaves returns the leaf nodes assigned to this shard (any order).
+func (sh *Shard) OwnedLeaves() []int32 {
+	out := make([]int32, 0, len(sh.leaves))
+	for u := range sh.leaves {
+		out = append(out, u)
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+// Package core implements the paper's contribution: exact distributed
+// Personalized PageRank via graph partitioning. It provides
+//
+//   - Store: the HGPA pre-computation (§5) over a hierarchy — adjusted hub
+//     partial vectors P_h, hubs skeleton vectors s_·(h), and leaf-level
+//     local PPVs — plus the exact query-time construction (§4.3–4.4,
+//     Theorems 1 and 3). GPA (§3) is the special case of a single-level
+//     hierarchy.
+//   - Shard: the per-machine slice of a Store under the paper's
+//     hub-distributed load balancing (§4.4); shard outputs sum to the
+//     exact PPV, one vector per machine per query.
+//   - JWStore: the PPV-JW brute-force baseline (§2.3) with
+//     PageRank-selected hub nodes.
+//
+// # Construction identity actually implemented
+//
+// Partial vectors follow Definition 1 (no hub visits after the start; see
+// internal/ppr.PartialVector). Under that definition the adjusted partial
+// P_h = p_h − α·x_h vanishes on every hub entry, and the exact PPV is
+//
+//	r_u = final(u) + Σ_{G ∈ Path(u)} Σ_{h ∈ H(G)} [ S_u(h)/α · P_h  +  S_u(h)·x_h ]
+//
+// where S_u(h) = s_u[G](h) − α·f_u(h), final(u) is the leaf-level local
+// PPV for a non-hub u or p_u itself when u is a hub, and the S_u(h)·x_h
+// term supplies the PPV values AT hub nodes straight from the skeleton
+// (the "last hub visit" renewal argument; verified against power
+// iteration in the package tests). The second term is machine-local in
+// the distributed setting — whoever owns hub h owns both P_h and the
+// skeleton vector of h — so the one-round protocol of §4.4 is preserved.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/ppr"
+	"exactppr/internal/sparse"
+)
+
+// Store holds the complete HGPA pre-computation for a hierarchy.
+type Store struct {
+	H      *hierarchy.Hierarchy
+	Params ppr.Params
+
+	// HubPartial[h] is the ADJUSTED partial vector P_h = p_h − α·x_h of
+	// hub h, computed within h's home subgraph w.r.t. that subgraph's hub
+	// set, in global id space.
+	HubPartial map[int32]sparse.Vector
+	// Skeleton[h](w) = s_w(h): the local PPV value at hub h for every
+	// source w in h's home subgraph, in global id space.
+	Skeleton map[int32]sparse.Vector
+	// LeafPPV[u] is the local PPV of non-hub node u w.r.t. its leaf-level
+	// virtual subgraph, in global id space.
+	LeafPPV map[int32]sparse.Vector
+}
+
+// PrecomputeInfo reports the cost of a pre-computation run. Because the
+// tasks are independent and load-balanced, TotalTaskTime/n estimates the
+// per-machine offline time on an n-machine cluster (the quantity of
+// Figures 12 and 16) regardless of how many workers ran locally.
+type PrecomputeInfo struct {
+	// Wall is the local end-to-end time with `workers` parallel workers.
+	Wall time.Duration
+	// TotalTaskTime is the summed compute time of all tasks.
+	TotalTaskTime time.Duration
+	// Tasks is the number of per-node/per-hub tasks executed.
+	Tasks int
+}
+
+// Precompute runs the distributed pre-computation of §5 over `workers`
+// parallel workers (0 = GOMAXPROCS). Every task touches only one
+// subgraph, mirroring the paper's claim that pre-computation needs no
+// inter-machine communication.
+func Precompute(h *hierarchy.Hierarchy, params ppr.Params, workers int) (*Store, error) {
+	s, _, err := PrecomputeWithInfo(h, params, workers)
+	return s, err
+}
+
+// PrecomputeWithInfo is Precompute plus timing information.
+func PrecomputeWithInfo(h *hierarchy.Hierarchy, params ppr.Params, workers int) (*Store, *PrecomputeInfo, error) {
+	start := time.Now()
+	if err := params.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Store{
+		H:          h,
+		Params:     params,
+		HubPartial: make(map[int32]sparse.Vector),
+		Skeleton:   make(map[int32]sparse.Vector),
+		LeafPPV:    make(map[int32]sparse.Vector),
+	}
+
+	type task struct {
+		node *hierarchy.Node
+		u    int32 // global id
+		hub  bool
+	}
+	var tasks []task
+	for _, n := range h.Nodes() {
+		for _, hub := range n.Hubs {
+			tasks = append(tasks, task{n, hub, true})
+		}
+		if n.IsLeaf() {
+			for _, m := range n.Members {
+				if !h.IsHub(m) {
+					tasks = append(tasks, task{n, m, false})
+				}
+			}
+		}
+		n.Sub.G.BuildReverse() // safe to pre-build; used by skeletons
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		wg        sync.WaitGroup
+		ch        = make(chan task)
+		taskNanos atomic.Int64
+	)
+	worker := func() {
+		defer wg.Done()
+		for t := range ch {
+			t0 := time.Now()
+			var err error
+			if t.hub {
+				err = s.precomputeHub(t.node, t.u)
+			} else {
+				err = s.precomputeLeaf(t.node, t.u)
+			}
+			taskNanos.Add(int64(time.Since(t0)))
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}
+	}
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go worker()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	info := &PrecomputeInfo{
+		Wall:          time.Since(start),
+		TotalTaskTime: time.Duration(taskNanos.Load()),
+		Tasks:         len(tasks),
+	}
+	return s, info, nil
+}
+
+var storeMu sync.Mutex // guards Store maps during parallel precompute
+
+func (s *Store) precomputeHub(n *hierarchy.Node, hub int32) error {
+	g := n.Sub.G
+	lh := n.Sub.Local(hub)
+	isHub := make([]bool, g.NumNodes())
+	for _, x := range n.Hubs {
+		isHub[n.Sub.Local(x)] = true
+	}
+	partial, _, err := ppr.PartialVector(g, lh, isHub, s.Params)
+	if err != nil {
+		return fmt.Errorf("core: partial of hub %d: %w", hub, err)
+	}
+	adjusted := sparse.New(partial.Len())
+	for lid, x := range partial {
+		if lid == lh {
+			continue // the α·x_h adjustment removes the zero-length tour
+		}
+		adjusted.Set(n.Sub.Parent(lid), x)
+	}
+	sk, err := ppr.SkeletonForHub(g, lh, s.Params)
+	if err != nil {
+		return fmt.Errorf("core: skeleton of hub %d: %w", hub, err)
+	}
+	skel := sparse.New(64)
+	for lid, x := range sk {
+		if x != 0 && int(lid) < n.Sub.Len() {
+			skel.Set(n.Sub.Parent(int32(lid)), x)
+		}
+	}
+	storeMu.Lock()
+	s.HubPartial[hub] = adjusted
+	s.Skeleton[hub] = skel
+	storeMu.Unlock()
+	return nil
+}
+
+func (s *Store) precomputeLeaf(n *hierarchy.Node, u int32) error {
+	g := n.Sub.G
+	local, _, err := ppr.PartialVector(g, n.Sub.Local(u), nil, s.Params)
+	if err != nil {
+		return fmt.Errorf("core: leaf PPV of %d: %w", u, err)
+	}
+	global := sparse.New(local.Len())
+	for lid, x := range local {
+		global.Set(n.Sub.Parent(lid), x)
+	}
+	storeMu.Lock()
+	s.LeafPPV[u] = global
+	storeMu.Unlock()
+	return nil
+}
+
+// Query constructs the exact PPV of u centrally (HGPA on one machine,
+// §6.2.9). See the package comment for the identity used.
+func (s *Store) Query(u int32) (sparse.Vector, error) {
+	if u < 0 || int(u) >= s.H.G.NumNodes() {
+		return nil, fmt.Errorf("core: query node %d out of range", u)
+	}
+	r := sparse.New(256)
+	for _, node := range s.H.Path(u) {
+		for _, h := range node.Hubs {
+			s.addHubContribution(r, u, h)
+		}
+	}
+	s.addFinalTerm(r, u)
+	return r, nil
+}
+
+// addHubContribution folds hub h's term into r for query node u:
+// (S_u(h)/α)·P_h plus the direct skeleton entry S_u(h) at h.
+func (s *Store) addHubContribution(r sparse.Vector, u, h int32) {
+	su := s.Skeleton[h].Get(u)
+	if h == u {
+		su -= s.Params.Alpha // S_u(h) = s_u(h) − α·f_u(h)
+	}
+	if su == 0 {
+		return
+	}
+	r.AddScaled(s.HubPartial[h], su/s.Params.Alpha)
+	r.Add(h, su)
+}
+
+// addFinalTerm adds the recursion's base case: the leaf-level local PPV
+// for a non-hub query, or the hub's own partial vector p_u = P_u + α·x_u.
+func (s *Store) addFinalTerm(r sparse.Vector, u int32) {
+	if s.H.IsHub(u) {
+		r.AddScaled(s.HubPartial[u], 1)
+		r.Add(u, s.Params.Alpha)
+		return
+	}
+	r.AddScaled(s.LeafPPV[u], 1)
+}
+
+// Truncate removes every stored entry with absolute value below min,
+// producing the paper's adapted method HGPA_ad (§6.2.9, min = 1e-4).
+// It returns the number of entries dropped.
+func (s *Store) Truncate(min float64) int {
+	dropped := 0
+	for _, m := range []map[int32]sparse.Vector{s.HubPartial, s.Skeleton, s.LeafPPV} {
+		for _, v := range m {
+			for id, x := range v {
+				if x < min && x > -min {
+					delete(v, id)
+					dropped++
+				}
+			}
+		}
+	}
+	return dropped
+}
+
+// Clone deep-copies the store (useful before Truncate).
+func (s *Store) Clone() *Store {
+	c := &Store{
+		H:          s.H,
+		Params:     s.Params,
+		HubPartial: make(map[int32]sparse.Vector, len(s.HubPartial)),
+		Skeleton:   make(map[int32]sparse.Vector, len(s.Skeleton)),
+		LeafPPV:    make(map[int32]sparse.Vector, len(s.LeafPPV)),
+	}
+	for k, v := range s.HubPartial {
+		c.HubPartial[k] = v.Clone()
+	}
+	for k, v := range s.Skeleton {
+		c.Skeleton[k] = v.Clone()
+	}
+	for k, v := range s.LeafPPV {
+		c.LeafPPV[k] = v.Clone()
+	}
+	return c
+}
+
+// SpaceBytes reports the encoded size of all stored vectors — the space
+// metric of §6.2.2/§6.2.4.
+func (s *Store) SpaceBytes() int64 {
+	var total int64
+	for _, m := range []map[int32]sparse.Vector{s.HubPartial, s.Skeleton, s.LeafPPV} {
+		for _, v := range m {
+			total += int64(sparse.EncodedSize(v))
+		}
+	}
+	return total
+}
+
+// Stats summarizes the store for experiment reports.
+type Stats struct {
+	Hubs, Leaves             int
+	PartialEntries           int64
+	SkeletonEntries          int64
+	LeafEntries              int64
+	Bytes                    int64
+	Levels, LeafSubgraphs    int
+	TotalNodes, GraphNodes   int
+	GraphEdges, TotalTreeHub int
+}
+
+// Stats returns summary statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hubs:          len(s.HubPartial),
+		Leaves:        len(s.LeafPPV),
+		Bytes:         s.SpaceBytes(),
+		Levels:        s.H.Depth(),
+		LeafSubgraphs: len(s.H.Leaves()),
+		TotalNodes:    len(s.H.Nodes()),
+		GraphNodes:    s.H.G.NumNodes(),
+		GraphEdges:    s.H.G.NumEdges(),
+		TotalTreeHub:  s.H.TotalHubs(),
+	}
+	for _, v := range s.HubPartial {
+		st.PartialEntries += int64(v.Len())
+	}
+	for _, v := range s.Skeleton {
+		st.SkeletonEntries += int64(v.Len())
+	}
+	for _, v := range s.LeafPPV {
+		st.LeafEntries += int64(v.Len())
+	}
+	return st
+}

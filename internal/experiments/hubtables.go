@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"exactppr/internal/gen"
+	"exactppr/internal/hierarchy"
+	"exactppr/internal/workload"
+)
+
+// runHubTable reproduces Tables 2–5: the number of hub nodes selected at
+// each level of the hierarchical partitioning.
+func runHubTable(dataset string) Runner {
+	return func(cfg Config) ([]Table, error) {
+		ds, err := workload.Load(dataset, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		h, err := hierarchy.Build(ds.G, hierarchy.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		counts := h.HubsPerLevel()
+		t := Table{
+			Title: fmt.Sprintf("Hub nodes per level — %s analogue (|V|=%d, |E|=%d, paper: |V|=%d, |E|=%d)",
+				ds.Name, ds.G.NumNodes(), ds.G.NumEdges(), ds.Paper.PaperNodes, ds.Paper.PaperEdges),
+			Header: []string{"Level", "HubNumber"},
+		}
+		total := 0
+		for lvl, c := range counts {
+			t.Rows = append(t.Rows, []string{fmt.Sprint(lvl), fmt.Sprint(c)})
+			total += c
+		}
+		t.Rows = append(t.Rows, []string{"total", fmt.Sprintf("%d (%.2f%% of nodes)", total,
+			100*float64(total)/float64(ds.G.NumNodes()))})
+		return []Table{t}, nil
+	}
+}
+
+// runTable6 reproduces Table 6: the Meetup-like scalability graphs.
+func runTable6(cfg Config) ([]Table, error) {
+	t := Table{
+		Title:  "Meetup-like graphs for the scalability study (Table 6)",
+		Header: []string{"Graph", "Nodes", "Edges", "PaperNodes", "PaperEdges"},
+	}
+	for i, spec := range gen.MeetupSizes {
+		g, err := gen.MeetupLike(i, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.ID,
+			fmt.Sprint(g.NumNodes()),
+			fmt.Sprint(g.NumEdges()),
+			fmt.Sprint(spec.PaperNodes),
+			fmt.Sprint(spec.PaperEdges),
+		})
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,225 @@
+package gen
+
+import (
+	"testing"
+
+	"exactppr/internal/graph"
+)
+
+func TestCommunityValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, Communities: 1},
+		{Nodes: 10, Communities: 0},
+		{Nodes: 10, Communities: 20},
+		{Nodes: 10, Communities: 1, InterFrac: 1.0},
+		{Nodes: 10, Communities: 1, InterFrac: -0.1},
+		{Nodes: 10, Communities: 1, AvgOutDegree: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Community(cfg); err == nil {
+			t.Errorf("case %d: Community(%+v) should fail", i, cfg)
+		}
+	}
+}
+
+func TestCommunityDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 500, AvgOutDegree: 4, Communities: 5, InterFrac: 0.1, Seed: 7}
+	g1, err := Community(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := Community(cfg)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("not deterministic: %d vs %d edges", g1.NumEdges(), g2.NumEdges())
+	}
+	for u := int32(0); u < int32(g1.NumNodes()); u++ {
+		a, b := g1.Out(u), g2.Out(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d out-lists differ", u)
+			}
+		}
+	}
+}
+
+func TestCommunityStructure(t *testing.T) {
+	cfg := Config{Nodes: 2000, AvgOutDegree: 6, Communities: 10, InterFrac: 0.05, Seed: 1, MinOutDegree: 1}
+	g, err := Community(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Count inter-community edges: should be a small fraction.
+	commOf := func(u int32) int { return int(u) * cfg.Communities / cfg.Nodes }
+	inter := 0
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		for _, v := range g.Out(u) {
+			if commOf(u) != commOf(v) {
+				inter++
+			}
+		}
+	}
+	frac := float64(inter) / float64(g.NumEdges())
+	if frac > 0.15 {
+		t.Fatalf("inter-community fraction = %.3f, want ≲ InterFrac", frac)
+	}
+	// Average degree near target (duplicates shave a little off).
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if avg < 2 || avg > 12 {
+		t.Fatalf("avg degree = %.2f, want near %v", avg, cfg.AvgOutDegree)
+	}
+}
+
+func TestMinOutDegree(t *testing.T) {
+	g, err := Community(Config{Nodes: 300, AvgOutDegree: 1, Communities: 3, MinOutDegree: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		if g.OutDegree(u) < 2 {
+			t.Fatalf("node %d has degree %d < MinOutDegree", u, g.OutDegree(u))
+		}
+	}
+}
+
+func TestDegreeSkewProducesHeavyTail(t *testing.T) {
+	g, err := Community(Config{Nodes: 3000, AvgOutDegree: 5, Communities: 1, DegreeSkew: 1.6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		if d := g.OutDegree(u); d > max {
+			max = d
+		}
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(max) < 5*avg {
+		t.Fatalf("max degree %d should be ≫ avg %.1f under skew", max, avg)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 3, 11)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if avg < 2 || avg > 3.2 {
+		t.Fatalf("avg degree %.2f, want ≈3", avg)
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(2000, 3, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy-tailed in-degree: the max should far exceed the mean.
+	g.BuildReverse()
+	maxIn := 0
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		if d := len(g.In(u)); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 30 {
+		t.Fatalf("max in-degree = %d, expected a hub", maxIn)
+	}
+}
+
+func TestDatasetPresets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		g, err := Dataset(name, 0.2, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		spec := Specs[name]
+		avg := float64(g.NumEdges()) / float64(g.NumNodes())
+		if avg < spec.AvgOutDegree*0.4 || avg > spec.AvgOutDegree*2.5 {
+			t.Errorf("%s: avg degree %.2f, spec %.2f", name, avg, spec.AvgOutDegree)
+		}
+		// No dangling nodes in presets.
+		for u := int32(0); u < int32(g.NumNodes()); u++ {
+			if g.OutDegree(u) == 0 {
+				t.Fatalf("%s: node %d dangling", name, u)
+			}
+		}
+	}
+}
+
+func TestDatasetErrors(t *testing.T) {
+	if _, err := Dataset("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if _, err := Dataset("email", 0, 1); err == nil {
+		t.Fatal("zero scale should fail")
+	}
+}
+
+func TestMeetupLikeSizesGrow(t *testing.T) {
+	var prevN, prevE int
+	for i := range MeetupSizes {
+		g, err := MeetupLike(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() <= prevN || g.NumEdges() <= prevE {
+			t.Fatalf("M%d not larger than M%d: %d/%d vs %d/%d",
+				i+1, i, g.NumNodes(), g.NumEdges(), prevN, prevE)
+		}
+		prevN, prevE = g.NumNodes(), g.NumEdges()
+	}
+	if _, err := MeetupLike(99, 1); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+}
+
+func TestGeneratedGraphsAreSimple(t *testing.T) {
+	g, err := Dataset("email", 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		out := g.Out(u)
+		for i, v := range out {
+			if v == u {
+				t.Fatalf("self loop at %d", u)
+			}
+			if i > 0 && out[i-1] == v {
+				t.Fatalf("duplicate edge (%d,%d)", u, v)
+			}
+		}
+	}
+	_ = graph.InducedSubgraph(g, []int32{0, 1, 2}) // smoke: interop with graph pkg
+}
+
+func TestPresetStatsMatchSpecShape(t *testing.T) {
+	// The generated analogues should carry the structural signatures the
+	// partitioner relies on: dominant weakly-connected component, heavy
+	// out-degree tail, no dangling nodes.
+	for _, name := range []string{"email", "web"} {
+		g, err := Dataset(name, 0.3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := graph.ComputeStats(g)
+		if st.Dangling != 0 {
+			t.Errorf("%s: %d dangling nodes", name, st.Dangling)
+		}
+		if float64(st.LargestComponent) < 0.5*float64(st.Nodes) {
+			t.Errorf("%s: largest component %d of %d", name, st.LargestComponent, st.Nodes)
+		}
+		if st.MaxOutDegree < 3*st.OutDegreeP50 {
+			t.Errorf("%s: no heavy tail (max %d, p50 %d)", name, st.MaxOutDegree, st.OutDegreeP50)
+		}
+	}
+}

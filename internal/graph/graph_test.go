@@ -1,0 +1,333 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// diamond returns the 4-node graph 0→1, 0→2, 1→3, 2→3.
+func diamond() *Graph {
+	return FromAdjacency([][]int32{{1, 2}, {3}, {3}, {}})
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := diamond()
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("NumNodes=%d NumEdges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if got := g.Out(0); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("Out(0) = %v", got)
+	}
+	if g.OutDegree(3) != 0 || g.OutWeight(3) != 0 {
+		t.Fatalf("node 3 should be dangling")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDropsDuplicatesAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2 (dup and self-loop dropped)", g.NumEdges())
+	}
+	if g.OutDegree(1) != 0 {
+		t.Fatalf("self loop survived: Out(1)=%v", g.Out(1))
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range should panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestHasEdge(t *testing.T) {
+	g := diamond()
+	cases := []struct {
+		u, v int32
+		want bool
+	}{{0, 1, true}, {0, 2, true}, {0, 3, false}, {1, 3, true}, {3, 0, false}}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := diamond()
+	if got := g.In(3); !reflect.DeepEqual(got, []int32{1, 2}) {
+		t.Fatalf("In(3) = %v", got)
+	}
+	if got := g.In(0); len(got) != 0 {
+		t.Fatalf("In(0) = %v, want empty", got)
+	}
+	// Total in-degree equals total out-degree.
+	sumIn := 0
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		sumIn += len(g.In(u))
+	}
+	if sumIn != g.NumEdges() {
+		t.Fatalf("Σ in-degree = %d, want %d", sumIn, g.NumEdges())
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := diamond()
+	s := InducedSubgraph(g, []int32{0, 1, 3})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Edge 0→1 and 1→3 survive; 0→2 does not.
+	l0, l1, l3 := s.Local(0), s.Local(1), s.Local(3)
+	if l0 < 0 || l1 < 0 || l3 < 0 || s.Local(2) != -1 {
+		t.Fatalf("Local mapping wrong: %d %d %d %d", l0, l1, l3, s.Local(2))
+	}
+	if !s.G.HasEdge(l0, l1) || !s.G.HasEdge(l1, l3) {
+		t.Fatal("expected edges missing in induced subgraph")
+	}
+	if s.G.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", s.G.NumEdges())
+	}
+	// Induced OutWeight is the LOCAL degree: node 0 lost edge 0→2.
+	if s.G.OutWeight(l0) != 1 {
+		t.Fatalf("induced OutWeight = %d, want 1", s.G.OutWeight(l0))
+	}
+	if s.G.HasVirtualSink() {
+		t.Fatal("induced subgraph must not have a sink")
+	}
+	if s.Parent(l3) != 3 {
+		t.Fatalf("Parent(%d) = %d", l3, s.Parent(l3))
+	}
+}
+
+func TestVirtualSubgraph(t *testing.T) {
+	g := diamond()
+	s := VirtualSubgraph(g, []int32{0, 1, 3})
+	if !s.G.HasVirtualSink() {
+		t.Fatal("virtual subgraph must have a sink")
+	}
+	sink := s.G.VirtualSink()
+	if int(sink) != s.Len() {
+		t.Fatalf("sink id = %d, want %d", sink, s.Len())
+	}
+	l0 := s.Local(0)
+	// Node 0 keeps its ORIGINAL out-weight 2 and gains a sink edge for 0→2.
+	if s.G.OutWeight(l0) != 2 {
+		t.Fatalf("virtual OutWeight = %d, want 2", s.G.OutWeight(l0))
+	}
+	if !s.G.HasEdge(l0, sink) {
+		t.Fatal("node 0 should have a sink edge (its edge to 2 left the subgraph)")
+	}
+	// Node 1's only edge (→3) is internal: no sink edge.
+	if s.G.HasEdge(s.Local(1), sink) {
+		t.Fatal("node 1 must not have a sink edge")
+	}
+	if s.G.OutDegree(sink) != 0 || s.G.OutWeight(sink) != 0 {
+		t.Fatal("sink must be absorbing")
+	}
+	if err := s.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.G.IsVirtual(sink) || s.G.IsVirtual(l0) {
+		t.Fatal("IsVirtual misbehaves")
+	}
+}
+
+func TestSubgraphParentPanicsOnSink(t *testing.T) {
+	g := diamond()
+	s := VirtualSubgraph(g, []int32{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Parent(sink) should panic")
+		}
+	}()
+	s.Parent(s.G.VirtualSink())
+}
+
+func TestExtractDuplicateMemberPanics(t *testing.T) {
+	g := diamond()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate member should panic")
+		}
+	}()
+	InducedSubgraph(g, []int32{0, 0})
+}
+
+func TestLoadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+10 20
+20 30
+
+10 30
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	// 10→0, 20→1, 30→2 by first appearance.
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Fatal("edges remapped incorrectly")
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"1", "a b", "1 -2"} {
+		if _, err := LoadEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("LoadEdgeList(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := diamond()
+	var sb strings.Builder
+	if err := WriteEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d vs %d/%d", g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		if !reflect.DeepEqual(g.Out(u), g2.Out(u)) {
+			t.Fatalf("Out(%d) differs: %v vs %v", u, g.Out(u), g2.Out(u))
+		}
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	// Two components: {0,1} and {2,3} (2→3 only).
+	g := FromAdjacency([][]int32{{1}, {}, {3}, {}})
+	labels, k := g.WeaklyConnectedComponents(nil)
+	if k != 2 {
+		t.Fatalf("k = %d, want 2", k)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[0] == labels[2] {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestComponentsWithBlocked(t *testing.T) {
+	// Path 0-1-2; blocking 1 splits it.
+	g := FromAdjacency([][]int32{{1}, {2}, {}})
+	labels, k := g.WeaklyConnectedComponents(func(u int32) bool { return u == 1 })
+	if k != 2 || labels[1] != -1 {
+		t.Fatalf("k=%d labels=%v", k, labels)
+	}
+}
+
+func TestIsSeparator(t *testing.T) {
+	// 0-1-2-3 path (undirected view) with parts {0,1|2,3}. Hub {3} does
+	// not cut the 1-2 boundary, so nodes of different parts stay connected.
+	g := FromAdjacency([][]int32{{1}, {2}, {3}, {}})
+	parts := []int32{0, 0, 1, 1}
+	if IsSeparator(g, map[int32]bool{3: true}, parts) {
+		t.Fatal("{3} must not separate parts split between nodes 1 and 2")
+	}
+	// Hub {1} does cut it: remaining components {0} and {2,3} are pure.
+	if !IsSeparator(g, map[int32]bool{1: true}, parts) {
+		t.Fatal("{1} must separate the path")
+	}
+}
+
+func TestIsSeparatorPositive(t *testing.T) {
+	// 0→1→2, 3→1. Hub {1}: removing it leaves {0},{2},{3} all isolated, so
+	// any part assignment is separated.
+	g := FromAdjacency([][]int32{{1}, {2}, {}, {1}})
+	parts := []int32{0, 0, 1, 1}
+	if !IsSeparator(g, map[int32]bool{1: true}, parts) {
+		t.Fatal("{1} must separate this graph")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := diamond()
+	r := g.ReachableFrom(0, nil)
+	if len(r) != 4 {
+		t.Fatalf("ReachableFrom(0) = %v", r)
+	}
+	r = g.ReachableFrom(0, func(u int32) bool { return u == 1 || u == 2 })
+	if len(r) != 1 || !r[0] {
+		t.Fatalf("blocked reach = %v", r)
+	}
+	r = g.ReachableFrom(3, nil)
+	if len(r) != 1 {
+		t.Fatalf("ReachableFrom(3) = %v", r)
+	}
+}
+
+func TestBFSUndirectedView(t *testing.T) {
+	// 0→1, 2→1: BFS from 0 must reach 2 through the undirected view.
+	g := FromAdjacency([][]int32{{1}, {}, {1}})
+	var got []int32
+	g.BFSFrom(0, nil, func(u int32) { got = append(got, u) })
+	if len(got) != 3 {
+		t.Fatalf("BFS reached %v, want all 3 nodes", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := diamond()
+	g.outW[0] = 0 // below stored degree
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate should catch OutWeight < degree")
+	}
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(50)
+		b := NewBuilder(n)
+		for e := 0; e < rng.Intn(4*n); e++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Virtual subgraph of a random member subset keeps parent weights.
+		var members []int32
+		for u := 0; u < n; u++ {
+			if rng.Intn(2) == 0 {
+				members = append(members, int32(u))
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		s := VirtualSubgraph(g, members)
+		if err := s.G.Validate(); err != nil {
+			t.Fatalf("trial %d virtual: %v", trial, err)
+		}
+		for _, p := range members {
+			l := s.Local(p)
+			if s.G.OutWeight(l) != g.OutWeight(p) {
+				t.Fatalf("OutWeight not preserved for %d", p)
+			}
+			if s.Parent(l) != p {
+				t.Fatalf("Parent(Local(%d)) = %d", p, s.Parent(l))
+			}
+		}
+	}
+}

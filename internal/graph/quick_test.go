@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickGraph decodes an arbitrary byte string into a small directed
+// graph — the generator for the property tests below.
+func quickGraph(data []byte) *Graph {
+	n := 2 + int(len(data))%40
+	b := NewBuilder(n)
+	for i := 0; i+1 < len(data); i += 2 {
+		b.AddEdge(int32(int(data[i])%n), int32(int(data[i+1])%n))
+	}
+	return b.Build()
+}
+
+// Property: every built graph satisfies Validate.
+func TestQuickBuilderAlwaysValid(t *testing.T) {
+	f := func(data []byte) bool {
+		return quickGraph(data).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reverse adjacency is an involution — reversing twice
+// restores the forward edge multiset.
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(data []byte) bool {
+		g := quickGraph(data)
+		g.BuildReverse()
+		// Rebuild a graph from the reverse of the reverse.
+		b := NewBuilder(g.NumNodes())
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			for _, u := range g.In(v) {
+				b.AddEdge(u, v)
+			}
+		}
+		g2 := b.Build()
+		if g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := int32(0); u < int32(g.NumNodes()); u++ {
+			if !reflect.DeepEqual(g.Out(u), g2.Out(u)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an edge-list write/read round trip preserves the graph
+// exactly (ids are already dense, so the format is lossless).
+func TestQuickEdgeListRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		g := quickGraph(data)
+		if g.NumEdges() == 0 {
+			return true // empty graphs lose node count in the format
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		g2, err := LoadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		// Node ids may be remapped (appearance order), so compare the
+		// degree multiset, which is remap-invariant.
+		return sameDegreeMultiset(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: virtual subgraphs never grow OutWeight and never shrink it
+// below the local degree, for arbitrary member subsets.
+func TestQuickVirtualSubgraphWeights(t *testing.T) {
+	f := func(data []byte, memberBits uint64) bool {
+		g := quickGraph(data)
+		var members []int32
+		for u := 0; u < g.NumNodes(); u++ {
+			if memberBits&(1<<(u%64)) != 0 {
+				members = append(members, int32(u))
+			}
+		}
+		if len(members) == 0 {
+			return true
+		}
+		s := VirtualSubgraph(g, members)
+		if s.G.Validate() != nil {
+			return false
+		}
+		for _, p := range members {
+			l := s.Local(p)
+			if s.G.OutWeight(l) != g.OutWeight(p) {
+				return false
+			}
+			if s.G.OutDegree(l) > g.OutDegree(p)+1 { // +1 for the sink edge
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WeaklyConnectedComponents yields a partition — labels cover
+// all unblocked nodes, nodes in one component are mutually reachable in
+// the undirected view.
+func TestQuickComponentsArePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, rng.Intn(60))
+		rng.Read(data)
+		g := quickGraph(data)
+		labels, k := g.WeaklyConnectedComponents(nil)
+		seen := make([]bool, k)
+		for u, l := range labels {
+			if l < 0 || int(l) >= k {
+				t.Fatalf("node %d label %d out of range", u, l)
+			}
+			seen[l] = true
+		}
+		for c, ok := range seen {
+			if !ok {
+				t.Fatalf("component %d empty", c)
+			}
+		}
+		// Edges never cross components.
+		for u := int32(0); u < int32(g.NumNodes()); u++ {
+			for _, v := range g.Out(u) {
+				if labels[u] != labels[v] {
+					t.Fatalf("edge (%d,%d) crosses components", u, v)
+				}
+			}
+		}
+	}
+}
+
+func sameDegreeMultiset(a, b *Graph) bool {
+	da := make(map[int]int)
+	db := make(map[int]int)
+	for u := int32(0); u < int32(a.NumNodes()); u++ {
+		da[a.OutDegree(u)]++
+	}
+	for u := int32(0); u < int32(b.NumNodes()); u++ {
+		db[b.OutDegree(u)]++
+	}
+	// Isolated nodes may be dropped by the edge-list format; compare
+	// only nonzero degrees.
+	delete(da, 0)
+	delete(db, 0)
+	return reflect.DeepEqual(da, db)
+}

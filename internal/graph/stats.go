@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stats summarizes a graph's shape — the quantities §6.1 reports per
+// dataset and the generator in internal/gen is calibrated against.
+type Stats struct {
+	Nodes, Edges int
+	// AvgOutDegree = Edges/Nodes.
+	AvgOutDegree float64
+	// MaxOutDegree and MaxInDegree capture the degree tail.
+	MaxOutDegree, MaxInDegree int
+	// Dangling counts nodes with no out-edges.
+	Dangling int
+	// Reciprocity is the fraction of edges whose reverse also exists.
+	Reciprocity float64
+	// Components is the number of weakly connected components; and
+	// LargestComponent its size.
+	Components, LargestComponent int
+	// OutDegreeP50/P90/P99 are out-degree percentiles.
+	OutDegreeP50, OutDegreeP90, OutDegreeP99 int
+}
+
+// ComputeStats gathers Stats for g.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumNodes()
+	st := Stats{Nodes: n, Edges: g.NumEdges()}
+	if n == 0 {
+		return st
+	}
+	st.AvgOutDegree = float64(st.Edges) / float64(n)
+	g.BuildReverse()
+	outDegs := make([]int, n)
+	recip := 0
+	for u := int32(0); u < int32(n); u++ {
+		d := g.OutDegree(u)
+		outDegs[u] = d
+		if d == 0 {
+			st.Dangling++
+		}
+		if d > st.MaxOutDegree {
+			st.MaxOutDegree = d
+		}
+		if in := len(g.In(u)); in > st.MaxInDegree {
+			st.MaxInDegree = in
+		}
+		for _, v := range g.Out(u) {
+			if g.HasEdge(v, u) {
+				recip++
+			}
+		}
+	}
+	if st.Edges > 0 {
+		st.Reciprocity = float64(recip) / float64(st.Edges)
+	}
+	labels, k := g.WeaklyConnectedComponents(nil)
+	st.Components = k
+	sizes := make([]int, k)
+	for _, l := range labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	for _, s := range sizes {
+		if s > st.LargestComponent {
+			st.LargestComponent = s
+		}
+	}
+	sort.Ints(outDegs)
+	pct := func(p float64) int { return outDegs[min(n-1, int(p*float64(n)))] }
+	st.OutDegreeP50 = pct(0.50)
+	st.OutDegreeP90 = pct(0.90)
+	st.OutDegreeP99 = pct(0.99)
+	return st
+}
+
+// Fprint renders the stats as a small report.
+func (s Stats) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "nodes          %d\n", s.Nodes)
+	fmt.Fprintf(w, "edges          %d\n", s.Edges)
+	fmt.Fprintf(w, "avg out-degree %.2f (p50=%d p90=%d p99=%d max=%d)\n",
+		s.AvgOutDegree, s.OutDegreeP50, s.OutDegreeP90, s.OutDegreeP99, s.MaxOutDegree)
+	fmt.Fprintf(w, "max in-degree  %d\n", s.MaxInDegree)
+	fmt.Fprintf(w, "dangling       %d\n", s.Dangling)
+	fmt.Fprintf(w, "reciprocity    %.3f\n", s.Reciprocity)
+	fmt.Fprintf(w, "components     %d (largest %d)\n", s.Components, s.LargestComponent)
+}
+
+// DegreeHistogram returns the out-degree histogram as (degree → count),
+// useful for eyeballing heavy tails.
+func DegreeHistogram(g *Graph) map[int]int {
+	h := make(map[int]int)
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		h[g.OutDegree(u)]++
+	}
+	return h
+}

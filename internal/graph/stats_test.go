@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsDiamond(t *testing.T) {
+	g := diamond() // 0→1, 0→2, 1→3, 2→3
+	st := ComputeStats(g)
+	if st.Nodes != 4 || st.Edges != 4 {
+		t.Fatalf("%+v", st)
+	}
+	if st.AvgOutDegree != 1 {
+		t.Fatalf("avg = %v", st.AvgOutDegree)
+	}
+	if st.MaxOutDegree != 2 || st.MaxInDegree != 2 {
+		t.Fatalf("max degrees: %+v", st)
+	}
+	if st.Dangling != 1 {
+		t.Fatalf("dangling = %d", st.Dangling)
+	}
+	if st.Reciprocity != 0 {
+		t.Fatalf("reciprocity = %v", st.Reciprocity)
+	}
+	if st.Components != 1 || st.LargestComponent != 4 {
+		t.Fatalf("components: %+v", st)
+	}
+}
+
+func TestComputeStatsReciprocity(t *testing.T) {
+	g := FromAdjacency([][]int32{{1}, {0, 2}, {}})
+	st := ComputeStats(g)
+	// Edges: 0→1, 1→0 (both reciprocated), 1→2 (not): 2/3.
+	if st.Reciprocity < 0.66 || st.Reciprocity > 0.67 {
+		t.Fatalf("reciprocity = %v", st.Reciprocity)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(FromAdjacency(nil))
+	if st.Nodes != 0 || st.Edges != 0 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestComputeStatsComponents(t *testing.T) {
+	g := FromAdjacency([][]int32{{1}, {}, {3}, {}, {}})
+	st := ComputeStats(g)
+	if st.Components != 3 || st.LargestComponent != 2 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestStatsFprint(t *testing.T) {
+	var sb strings.Builder
+	ComputeStats(diamond()).Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"nodes", "edges", "reciprocity", "components"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := diamond()
+	h := DegreeHistogram(g)
+	// Degrees: 2,1,1,0.
+	if h[2] != 1 || h[1] != 2 || h[0] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestPercentilesOrdered(t *testing.T) {
+	g := diamond()
+	st := ComputeStats(g)
+	if st.OutDegreeP50 > st.OutDegreeP90 || st.OutDegreeP90 > st.OutDegreeP99 {
+		t.Fatalf("percentiles not monotone: %+v", st)
+	}
+}

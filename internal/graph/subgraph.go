@@ -1,0 +1,135 @@
+package graph
+
+import "fmt"
+
+// Subgraph is a node-induced subgraph of a parent graph with its own dense
+// id space 0..len(Nodes)-1, plus the mapping back to parent ids. When built
+// as a virtual subgraph (Definition 3 of the paper) it contains one extra
+// node — the virtual sink — that absorbs edges whose head lies outside the
+// subgraph, and every local node keeps its parent out-degree as OutWeight,
+// so random-walk probabilities match the parent graph exactly (Theorem 2).
+type Subgraph struct {
+	G      *Graph  // the local graph (may include the virtual sink as last node)
+	Nodes  []int32 // parent id of each local node; virtual sink excluded
+	global map[int32]int32
+}
+
+// Local translates a parent id to the local id, returning -1 when the node
+// is not part of the subgraph.
+func (s *Subgraph) Local(parent int32) int32 {
+	if l, ok := s.global[parent]; ok {
+		return l
+	}
+	return -1
+}
+
+// Parent translates a local id back to the parent id. The virtual sink has
+// no parent id; calling Parent on it panics.
+func (s *Subgraph) Parent(local int32) int32 {
+	if int(local) >= len(s.Nodes) {
+		panic(fmt.Sprintf("graph: local id %d is the virtual sink or out of range", local))
+	}
+	return s.Nodes[local]
+}
+
+// Contains reports whether the parent node is a member of the subgraph.
+func (s *Subgraph) Contains(parent int32) bool {
+	_, ok := s.global[parent]
+	return ok
+}
+
+// Len returns the number of real (non-virtual) nodes.
+func (s *Subgraph) Len() int { return len(s.Nodes) }
+
+// InducedSubgraph extracts the plain node-induced subgraph over members:
+// only edges with both endpoints inside are kept, and OutWeight is the
+// local out-degree. Use VirtualSubgraph for partial-vector computations.
+func InducedSubgraph(g *Graph, members []int32) *Subgraph {
+	return extract(g, members, false)
+}
+
+// VirtualSubgraph extracts the virtual subgraph of Definition 3 over
+// members: edges leaving the member set are redirected to a single virtual
+// sink node (local id len(members)), and each member keeps its OutWeight
+// from g. The sink has no out-edges and OutWeight 0.
+//
+// The paper creates one sink edge per external edge (a multigraph); here a
+// single structural sink edge stands in for all of them, because transition
+// probabilities are derived from OutWeight rather than stored degree: each
+// stored edge to a REAL neighbor carries probability 1/OutWeight(u), and
+// all remaining probability mass — (OutWeight−realDegree)/OutWeight —
+// is absorbed by the sink. Random-walk engines therefore skip sink
+// neighbors and let that mass die, which is exactly the blocking behaviour
+// hub nodes impose on partial-vector tours (Theorem 2).
+func VirtualSubgraph(g *Graph, members []int32) *Subgraph {
+	return extract(g, members, true)
+}
+
+func extract(g *Graph, members []int32, virtual bool) *Subgraph {
+	local := make(map[int32]int32, len(members))
+	nodes := make([]int32, len(members))
+	for i, p := range members {
+		if _, dup := local[p]; dup {
+			panic(fmt.Sprintf("graph: duplicate member %d", p))
+		}
+		local[p] = int32(i)
+		nodes[i] = p
+	}
+	n := len(members)
+	total := n
+	if virtual {
+		total++ // the sink
+	}
+	sink := int32(n)
+
+	offsets := make([]int32, total+1)
+	var adj []int32
+	outW := make([]int32, total)
+	for i, p := range nodes {
+		start := len(adj)
+		sawExternal := false
+		for _, v := range g.Out(p) {
+			if lv, ok := local[v]; ok {
+				adj = append(adj, lv)
+			} else {
+				sawExternal = true
+			}
+		}
+		if virtual {
+			if sawExternal {
+				adj = append(adj, sink)
+			}
+			outW[i] = int32(g.OutWeight(p))
+		} else {
+			outW[i] = int32(len(adj) - start)
+		}
+		offsets[i+1] = int32(len(adj))
+	}
+	if virtual {
+		offsets[total] = int32(len(adj)) // sink has no out-edges
+		outW[sink] = 0
+	}
+	// Out-lists must stay sorted; local ids follow member order, which need
+	// not be sorted the same way as parent ids, so sort each list.
+	lg := &Graph{offsets: offsets, adj: adj, outW: outW, virtual: -1}
+	if virtual {
+		lg.virtual = sink
+	}
+	sortOutLists(lg)
+	return &Subgraph{G: lg, Nodes: nodes, global: local}
+}
+
+func sortOutLists(g *Graph) {
+	for u := int32(0); u < int32(g.NumNodes()); u++ {
+		out := g.adj[g.offsets[u]:g.offsets[u+1]]
+		insertionSort(out)
+	}
+}
+
+func insertionSort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package graph
+
+// This file provides the traversal helpers used by the partitioner and by
+// tests that verify separator properties (removing the hub set must
+// disconnect the parts).
+
+// BFSFrom runs a breadth-first search over the UNDIRECTED view of g
+// (following both out- and in-edges) starting at src, skipping any node for
+// which blocked returns true. visit is called once per reached node,
+// including src. blocked may be nil.
+func (g *Graph) BFSFrom(src int32, blocked func(int32) bool, visit func(int32)) {
+	if blocked != nil && blocked(src) {
+		return
+	}
+	g.BuildReverse()
+	seen := make([]bool, g.NumNodes())
+	queue := []int32{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		visit(u)
+		expand := func(v int32) {
+			if !seen[v] && (blocked == nil || !blocked(v)) {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+		for _, v := range g.Out(u) {
+			expand(v)
+		}
+		for _, v := range g.In(u) {
+			expand(v)
+		}
+	}
+}
+
+// WeaklyConnectedComponents labels every node with a component id in
+// 0..k-1 (undirected connectivity) and returns (labels, k). Nodes for
+// which blocked returns true get label -1 and are treated as deleted.
+func (g *Graph) WeaklyConnectedComponents(blocked func(int32) bool) ([]int32, int) {
+	n := g.NumNodes()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var k int32
+	for s := int32(0); s < int32(n); s++ {
+		if labels[s] >= 0 || (blocked != nil && blocked(s)) {
+			continue
+		}
+		id := k
+		k++
+		g.BFSFrom(s, blocked, func(u int32) { labels[u] = id })
+	}
+	return labels, int(k)
+}
+
+// IsSeparator reports whether removing the given hub set leaves no
+// undirected path between any two nodes that belong to different parts.
+// parts maps each node to its part id; hub nodes may carry any part value.
+func IsSeparator(g *Graph, hubs map[int32]bool, parts []int32) bool {
+	labels, _ := g.WeaklyConnectedComponents(func(u int32) bool { return hubs[u] })
+	// Within one surviving component all nodes must agree on their part.
+	compPart := make(map[int32]int32)
+	for u, comp := range labels {
+		if comp < 0 {
+			continue
+		}
+		p := parts[u]
+		if prev, ok := compPart[comp]; ok {
+			if prev != p {
+				return false
+			}
+		} else {
+			compPart[comp] = p
+		}
+	}
+	return true
+}
+
+// ReachableFrom returns the set of nodes reachable from src following
+// DIRECTED out-edges only, skipping blocked nodes (blocked may be nil).
+// src itself is included unless blocked.
+func (g *Graph) ReachableFrom(src int32, blocked func(int32) bool) map[int32]bool {
+	out := make(map[int32]bool)
+	if blocked != nil && blocked(src) {
+		return out
+	}
+	stack := []int32{src}
+	out[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Out(u) {
+			if !out[v] && (blocked == nil || !blocked(v)) {
+				out[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package matching implements bipartite maximum matching (Hopcroft–Karp),
+// the König-theorem minimum vertex cover derived from it, and the classic
+// greedy 2-approximation for general graphs. The paper (§4.2, Appendix D)
+// selects hub nodes as a vertex cover of the cut edges left by the graph
+// partitioner: 2-way cuts yield bipartite cut graphs where König gives an
+// exactly minimum hub set; multi-way cuts fall back to the approximation.
+package matching
+
+// BipartiteGraph is a bipartite graph given as adjacency from left
+// vertices (0..L-1) to right vertices (0..R-1).
+type BipartiteGraph struct {
+	L, R int
+	// Adj[l] lists the right-side neighbors of left vertex l.
+	Adj [][]int32
+}
+
+const unmatched = int32(-1)
+
+// HopcroftKarp computes a maximum matching. matchL[l] is the right vertex
+// matched to l (or -1), matchR[r] symmetric. Runs in O(E·√V).
+func HopcroftKarp(g *BipartiteGraph) (matchL, matchR []int32, size int) {
+	matchL = make([]int32, g.L)
+	matchR = make([]int32, g.R)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	const inf = int32(1 << 30)
+	dist := make([]int32, g.L)
+	queue := make([]int32, 0, g.L)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := int32(0); l < int32(g.L); l++ {
+			if matchL[l] == unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range g.Adj[l] {
+				nl := matchR[r]
+				if nl == unmatched {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int32) bool
+	dfs = func(l int32) bool {
+		for _, r := range g.Adj[l] {
+			nl := matchR[r]
+			if nl == unmatched || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := int32(0); l < int32(g.L); l++ {
+			if matchL[l] == unmatched && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, matchR, size
+}
+
+// MinVertexCover returns a minimum vertex cover of the bipartite graph via
+// König's theorem: |cover| equals the maximum matching size. The result is
+// (leftInCover, rightInCover) boolean masks.
+//
+// Construction: let Z be the set of vertices reachable from unmatched left
+// vertices by alternating paths (unmatched edges left→right, matched edges
+// right→left). The cover is (L \ Z) ∪ (R ∩ Z).
+func MinVertexCover(g *BipartiteGraph) (left, right []bool) {
+	matchL, matchR, _ := HopcroftKarp(g)
+	visitL := make([]bool, g.L)
+	visitR := make([]bool, g.R)
+	var stack []int32
+	for l := int32(0); l < int32(g.L); l++ {
+		if matchL[l] == unmatched {
+			visitL[l] = true
+			stack = append(stack, l)
+		}
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range g.Adj[l] {
+			if matchL[l] == r || visitR[r] {
+				continue // only traverse UNmatched edges left→right
+			}
+			visitR[r] = true
+			if nl := matchR[r]; nl != unmatched && !visitL[nl] {
+				visitL[nl] = true
+				stack = append(stack, nl)
+			}
+		}
+	}
+	left = make([]bool, g.L)
+	right = make([]bool, g.R)
+	for l := 0; l < g.L; l++ {
+		left[l] = !visitL[l]
+	}
+	for r := 0; r < g.R; r++ {
+		right[r] = visitR[r]
+	}
+	return left, right
+}
+
+// Edge is an undirected edge between arbitrary vertex ids.
+type Edge struct{ U, V int32 }
+
+// GreedyVertexCover returns a vertex cover of the given edge set using the
+// maximal-matching 2-approximation: repeatedly pick an uncovered edge and
+// add both endpoints. Deterministic given the input order.
+func GreedyVertexCover(edges []Edge) map[int32]bool {
+	cover := make(map[int32]bool)
+	for _, e := range edges {
+		if !cover[e.U] && !cover[e.V] {
+			cover[e.U] = true
+			cover[e.V] = true
+		}
+	}
+	return cover
+}
+
+// IsVertexCover reports whether every edge has at least one endpoint in the
+// cover.
+func IsVertexCover(edges []Edge, cover map[int32]bool) bool {
+	for _, e := range edges {
+		if !cover[e.U] && !cover[e.V] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+// Package metrics implements the accuracy measures of §6.1 and §6.2.10:
+// average L1 and L∞ norms between PPVs, and the top-k measures
+// Precision@k, RAG (relative aggregated goodness), and Kendall pair-order
+// accuracy used to compare exact and approximate algorithms (Figure 26).
+package metrics
+
+import (
+	"sort"
+
+	"exactppr/internal/sparse"
+)
+
+// AvgL1 returns Σ_v |a(v) − b(v)| / n — the paper's average L1 norm.
+func AvgL1(a, b sparse.Vector, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return sparse.L1Distance(a, b) / float64(n)
+}
+
+// LInf returns max_v |a(v) − b(v)|.
+func LInf(a, b sparse.Vector) float64 { return sparse.LInfDistance(a, b) }
+
+// PrecisionAtK returns |topK(approx) ∩ topK(exact)| / k: how many of the
+// approximate top-k really belong there.
+func PrecisionAtK(exact, approx sparse.Vector, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	et := exact.TopK(k)
+	at := approx.TopK(k)
+	inExact := make(map[int32]bool, len(et))
+	for _, e := range et {
+		inExact[e.ID] = true
+	}
+	hits := 0
+	for _, a := range at {
+		if inExact[a.ID] {
+			hits++
+		}
+	}
+	den := k
+	if len(et) < den {
+		den = len(et)
+	}
+	if den == 0 {
+		return 1
+	}
+	return float64(hits) / float64(den)
+}
+
+// RAG returns the relative aggregated goodness at k (following [11]):
+// the exact PPV mass captured by the approximate top-k, relative to the
+// mass of the true top-k. 1.0 means the approximate list is as good as
+// the true one even if the identities differ.
+func RAG(exact, approx sparse.Vector, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	var best, got float64
+	for _, e := range exact.TopK(k) {
+		best += e.Score
+	}
+	for _, a := range approx.TopK(k) {
+		got += exact.Get(a.ID)
+	}
+	if best == 0 {
+		return 1
+	}
+	return got / best
+}
+
+// KendallAtK returns the fraction of correctly ordered pairs among the
+// exact top-k nodes when re-scored by the approximate vector, counting
+// ties in the approximate scores as half-correct. 1.0 = perfect order
+// agreement. This is the pair-order accuracy behind the paper's Kendall
+// measure (§6.2.10).
+func KendallAtK(exact, approx sparse.Vector, k int) float64 {
+	top := exact.TopK(k)
+	if len(top) < 2 {
+		return 1
+	}
+	ids := make([]int32, len(top))
+	for i, e := range top {
+		ids[i] = e.ID
+	}
+	// Exact scores strictly order `top` (ties broken by id inside TopK);
+	// compare each pair's order under the approximate scores.
+	var correct float64
+	var total float64
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			total++
+			ei, ej := exact.Get(ids[i]), exact.Get(ids[j])
+			ai, aj := approx.Get(ids[i]), approx.Get(ids[j])
+			switch {
+			case ei == ej:
+				// Tied in truth: any approximate order is acceptable.
+				correct++
+			case ai == aj:
+				correct += 0.5
+			case (ei > ej) == (ai > aj):
+				correct++
+			}
+		}
+	}
+	return correct / total
+}
+
+// TopKOverlapIDs returns the ids in both top-k lists, sorted — a helper
+// for reports.
+func TopKOverlapIDs(exact, approx sparse.Vector, k int) []int32 {
+	inExact := make(map[int32]bool)
+	for _, e := range exact.TopK(k) {
+		inExact[e.ID] = true
+	}
+	var out []int32
+	for _, a := range approx.TopK(k) {
+		if inExact[a.ID] {
+			out = append(out, a.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

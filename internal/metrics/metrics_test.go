@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"exactppr/internal/sparse"
+)
+
+func TestAvgL1AndLInf(t *testing.T) {
+	a := sparse.Vector{1: 0.5, 2: 0.3}
+	b := sparse.Vector{1: 0.4, 3: 0.1}
+	if got := AvgL1(a, b, 10); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("AvgL1 = %v, want 0.05", got)
+	}
+	if got := LInf(a, b); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("LInf = %v, want 0.3", got)
+	}
+	if AvgL1(a, a, 10) != 0 || LInf(a, a) != 0 {
+		t.Fatal("distance to self must be 0")
+	}
+	if AvgL1(a, b, 0) != 0 {
+		t.Fatal("n=0 guard")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	exact := sparse.Vector{1: 0.5, 2: 0.4, 3: 0.3, 4: 0.2}
+	perfect := exact.Clone()
+	if got := PrecisionAtK(exact, perfect, 3); got != 1 {
+		t.Fatalf("perfect precision = %v", got)
+	}
+	// Approx swaps node 3 out for node 4.
+	approx := sparse.Vector{1: 0.5, 2: 0.4, 4: 0.3, 3: 0.1}
+	if got := PrecisionAtK(exact, approx, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v, want 2/3", got)
+	}
+	if got := PrecisionAtK(exact, approx, 0); got != 1 {
+		t.Fatalf("k=0 = %v", got)
+	}
+	// k larger than support: denominator shrinks to the exact list size.
+	if got := PrecisionAtK(exact, exact, 100); got != 1 {
+		t.Fatalf("k>support precision = %v", got)
+	}
+}
+
+func TestRAG(t *testing.T) {
+	exact := sparse.Vector{1: 0.5, 2: 0.4, 3: 0.3, 4: 0.2}
+	if got := RAG(exact, exact, 2); got != 1 {
+		t.Fatalf("perfect RAG = %v", got)
+	}
+	// Approx top-2 = {1, 4}: captured exact mass 0.7 of best 0.9.
+	approx := sparse.Vector{1: 9, 4: 8, 2: 1, 3: 1}
+	if got := RAG(exact, approx, 2); math.Abs(got-0.7/0.9) > 1e-12 {
+		t.Fatalf("RAG = %v, want %v", got, 0.7/0.9)
+	}
+	if got := RAG(sparse.Vector{}, approx, 2); got != 1 {
+		t.Fatalf("empty exact RAG = %v", got)
+	}
+}
+
+func TestKendallAtK(t *testing.T) {
+	exact := sparse.Vector{1: 0.5, 2: 0.4, 3: 0.3, 4: 0.2}
+	if got := KendallAtK(exact, exact, 4); got != 1 {
+		t.Fatalf("perfect Kendall = %v", got)
+	}
+	// Fully reversed order: 0 correct pairs.
+	rev := sparse.Vector{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4}
+	if got := KendallAtK(exact, rev, 4); got != 0 {
+		t.Fatalf("reversed Kendall = %v, want 0", got)
+	}
+	// One adjacent swap among 4 items: 5/6 pairs still ordered.
+	swap := sparse.Vector{1: 0.5, 2: 0.25, 3: 0.3, 4: 0.2}
+	if got := KendallAtK(exact, swap, 4); math.Abs(got-5.0/6) > 1e-12 {
+		t.Fatalf("one-swap Kendall = %v, want 5/6", got)
+	}
+	// Ties in approx count half.
+	tied := sparse.Vector{1: 0.5, 2: 0.3, 3: 0.3, 4: 0.2}
+	if got := KendallAtK(exact, tied, 4); math.Abs(got-(5.0+0.5)/6) > 1e-12 {
+		t.Fatalf("tied Kendall = %v", got)
+	}
+	if got := KendallAtK(sparse.Vector{1: 1}, nil, 5); got != 1 {
+		t.Fatalf("short list Kendall = %v", got)
+	}
+}
+
+func TestTopKOverlapIDs(t *testing.T) {
+	exact := sparse.Vector{1: 0.5, 2: 0.4, 3: 0.3}
+	approx := sparse.Vector{2: 0.9, 7: 0.8, 1: 0.7}
+	got := TopKOverlapIDs(exact, approx, 3)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("overlap = %v, want [1 2]", got)
+	}
+}

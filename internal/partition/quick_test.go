@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"exactppr/internal/gen"
+	"exactppr/internal/graph"
+	"exactppr/internal/matching"
+)
+
+// TestQuickPartitionInvariants fuzzes the partitioner across random
+// graphs, part counts, and seeds, asserting the three contract
+// properties: every node gets a valid part, hub sets cover the cut, and
+// hub sets separate the parts.
+func TestQuickPartitionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(250)
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = gen.ErdosRenyi(n, 1+rng.Float64()*4, int64(trial))
+		} else {
+			var err error
+			g, err = gen.Community(gen.Config{
+				Nodes: n, AvgOutDegree: 1 + rng.Float64()*4,
+				Communities: 1 + rng.Intn(4), InterFrac: rng.Float64() * 0.3,
+				Seed: int64(trial),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := 1 + rng.Intn(5)
+		if k > n {
+			k = n
+		}
+		parts, err := Partition(g, k, Options{Seed: int64(trial * 3)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("trial %d: %d parts for %d nodes", trial, len(parts), n)
+		}
+		for u, p := range parts {
+			if p < 0 || int(p) >= k {
+				t.Fatalf("trial %d: node %d part %d out of range", trial, u, p)
+			}
+		}
+		hubs := HubNodes(g, parts, k)
+		if !matching.IsVertexCover(CutEdges(g, parts), hubs) {
+			t.Fatalf("trial %d: hubs do not cover the cut", trial)
+		}
+		if !graph.IsSeparator(g, hubs, parts) {
+			t.Fatalf("trial %d: hubs do not separate", trial)
+		}
+	}
+}
+
+// TestQuickKonigNeverWorseThanGreedy: on 2-way cuts the König cover is a
+// true minimum, so it can never exceed the greedy 2-approximation.
+func TestQuickKonigNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(200)
+		g := gen.ErdosRenyi(n, 2+rng.Float64()*3, int64(trial+500))
+		parts, err := Partition(g, 2, Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := CutEdges(g, parts)
+		if len(cut) == 0 {
+			continue
+		}
+		konig := konigCover(cut, parts)
+		greedy := matching.GreedyVertexCover(cut)
+		if len(konig) > len(greedy) {
+			t.Fatalf("trial %d: König %d > greedy %d", trial, len(konig), len(greedy))
+		}
+		if !matching.IsVertexCover(cut, konig) {
+			t.Fatalf("trial %d: König cover invalid", trial)
+		}
+	}
+}
+
+// TestQuickBalanceUnderFuzz: parts stay within a loose balance budget on
+// connected-ish random graphs.
+func TestQuickBalanceUnderFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 15; trial++ {
+		n := 100 + rng.Intn(400)
+		g := gen.ErdosRenyi(n, 3, int64(trial+900))
+		k := 2 + rng.Intn(3)
+		parts, err := Partition(g, k, Options{Imbalance: 0.1, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bal := Balance(parts, k, nil); bal > 1.6 {
+			t.Fatalf("trial %d: balance %.2f (k=%d, n=%d)", trial, bal, k, n)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package ppr implements the random-walk primitives of the paper: power
+// iteration (Algorithm 2), selective expansion for partial vectors
+// (Appendix E.1, Eq. 9), and the memory-bounded reverse iteration for hubs
+// skeleton vectors (§5.2, Eq. 8).
+//
+// All functions operate in the LOCAL id space of the graph they are given;
+// callers working with (virtual) subgraphs map global ↔ local ids
+// themselves. Virtual sink nodes are never expanded and never accumulate
+// score: walk mass that would enter the sink is absorbed, implementing the
+// paper's Definition 3 semantics (see internal/graph).
+//
+// Dangling nodes (OutWeight 0) absorb by default, which is the semantics
+// of the Jeh–Widom inverse P-distance (Eq. 2: a tour cannot continue from
+// a node with no out-edges). DanglingRestart reproduces the engineering
+// choice of the paper's Algorithm 2, which adds an implicit arc from every
+// dangling node back to the query node.
+package ppr
+
+import (
+	"fmt"
+	"math"
+
+	"exactppr/internal/graph"
+	"exactppr/internal/sparse"
+)
+
+// DanglingPolicy selects what happens to walk mass at out-degree-0 nodes.
+type DanglingPolicy int
+
+const (
+	// DanglingAbsorb terminates walks at dangling nodes (inverse
+	// P-distance semantics; the default).
+	DanglingAbsorb DanglingPolicy = iota
+	// DanglingRestart redirects dangling mass to the query node, as in
+	// the paper's Algorithm 2 (lines 14–16).
+	DanglingRestart
+)
+
+// Params bundles the common PPR knobs.
+type Params struct {
+	// Alpha is the teleport probability (paper default 0.15).
+	Alpha float64
+	// Eps is the per-entry convergence tolerance (paper default 1e-4).
+	Eps float64
+	// MaxIter caps iterations as a safety net; 0 means a generous default.
+	MaxIter int
+	// Dangling selects the dangling-node policy.
+	Dangling DanglingPolicy
+}
+
+// Defaults returns the paper's default parameters: α = 0.15, ε = 1e-4.
+func Defaults() Params { return Params{Alpha: 0.15, Eps: 1e-4} }
+
+func (p Params) maxIter() int {
+	if p.MaxIter > 0 {
+		return p.MaxIter
+	}
+	return 10000
+}
+
+// Validate reports the first invalid parameter.
+func (p Params) Validate() error {
+	if !(p.Alpha > 0 && p.Alpha < 1) {
+		return fmt.Errorf("ppr: alpha = %v, want (0,1)", p.Alpha)
+	}
+	if !(p.Eps > 0) {
+		return fmt.Errorf("ppr: eps = %v, want > 0", p.Eps)
+	}
+	return nil
+}
+
+// PowerIteration computes the PPV of the single query node q on g by the
+// fixed-point iteration r ← (1−α)·AᵀR + α·x_q, stopping when every entry
+// changes by at most Eps (Algorithm 2's criterion). Entries at or below
+// Eps·Alpha are dropped from the returned sparse vector only if they are
+// exactly zero; callers needing truncation apply it themselves.
+func PowerIteration(g *graph.Graph, q int32, p Params) (sparse.Vector, error) {
+	return PowerIterationSet(g, []int32{q}, p)
+}
+
+// PowerIterationSet computes the PPV for a preference node SET (uniform
+// preference over the given nodes), supporting the paper's general P.
+func PowerIterationSet(g *graph.Graph, pref []int32, p Params) (sparse.Vector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pref) == 0 {
+		return nil, fmt.Errorf("ppr: empty preference set")
+	}
+	n := g.NumNodes()
+	for _, q := range pref {
+		if q < 0 || int(q) >= n {
+			return nil, fmt.Errorf("ppr: preference node %d out of range [0,%d)", q, n)
+		}
+		if g.IsVirtual(q) {
+			return nil, fmt.Errorf("ppr: preference node %d is the virtual sink", q)
+		}
+	}
+	x := make([]float64, n)
+	w := 1 / float64(len(pref))
+	for _, q := range pref {
+		x[q] += w
+	}
+	cur := make([]float64, n)
+	copy(cur, x)
+	for i := range cur {
+		cur[i] *= p.Alpha
+	}
+	next := make([]float64, n)
+	restart := p.Dangling == DanglingRestart
+
+	for iter := 0; iter < p.maxIter(); iter++ {
+		for i := range next {
+			next[i] = p.Alpha * x[i]
+		}
+		for u := int32(0); u < int32(n); u++ {
+			mass := cur[u]
+			if mass == 0 || g.IsVirtual(u) {
+				continue
+			}
+			ow := g.OutWeight(u)
+			if ow == 0 {
+				if restart {
+					for _, q := range pref {
+						next[q] += mass * (1 - p.Alpha) * w
+					}
+				}
+				continue // absorb
+			}
+			share := mass * (1 - p.Alpha) / float64(ow)
+			for _, v := range g.Out(u) {
+				if g.IsVirtual(v) {
+					continue // sink absorbs its share
+				}
+				next[v] += share
+			}
+		}
+		converged := true
+		for i := range next {
+			if math.Abs(next[i]-cur[i]) > p.Eps {
+				converged = false
+				break
+			}
+		}
+		cur, next = next, cur
+		if converged {
+			break
+		}
+	}
+	if g.HasVirtualSink() {
+		cur[g.VirtualSink()] = 0
+	}
+	return sparse.FromDense(cur, 0), nil
+}
+
+// PartialVector computes the partial vector p_u^H of node u by selective
+// expansion (Eq. 9, Definition 1): the weights of tours u⇝v that visit no
+// hub node at any position AFTER the start. The start position is exempt,
+// so a hub node's own partial vector exists (it expands exactly once, at
+// step 0) — but a later return to it, like any other hub visit, freezes
+// the walk (frozen mass is reported in hubBlocked, diagnostics only).
+// Consequences:
+//
+//   - p(v) = 0 for every hub v ≠ u; p(u) = α exactly when u ∈ H (only
+//     the zero-length tour survives).
+//   - P_h := p_h − α·x_h has NO entries on hub nodes at all, so in the
+//     construction (Eq. 4) every hub-target entry of the PPV comes
+//     directly from the skeleton: r_u(h) = s_u(h). This is the
+//     "last hub visit" renewal decomposition: r_u(v) = p_u(v) +
+//     (1/α)·Σ_h (r_u(h) − α·f_u(h))·p_h(v) for v ∉ H, verified exactly in
+//     TestDecompositionIdentity for hub and non-hub query nodes alike.
+//
+// isHub[v] marks hub nodes in local id space; it may be nil for an empty
+// hub set, in which case the result is the full local PPV of u — exactly
+// the "leaf level" vectors HGPA stores (§4.4).
+func PartialVector(g *graph.Graph, u int32, isHub []bool, p Params) (partial, hubBlocked sparse.Vector, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := g.NumNodes()
+	if u < 0 || int(u) >= n || g.IsVirtual(u) {
+		return nil, nil, fmt.Errorf("ppr: source %d invalid", u)
+	}
+	if isHub != nil && len(isHub) != n {
+		return nil, nil, fmt.Errorf("ppr: isHub length %d, want %d", len(isHub), n)
+	}
+	hub := func(v int32) bool { return isHub != nil && isHub[v] }
+
+	d := make([]float64, n)       // D_k: lower approximation of the partial vector
+	e := make([]float64, n)       // E_k: residual walk mass pending a visit
+	blocked := make([]float64, n) // continuation mass frozen at hubs
+	queue := make([]int32, 0, 64)
+	inQueue := make([]bool, n)
+	push := func(v int32) {
+		if !inQueue[v] && e[v] > p.Eps {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	expand := func(v int32, mass float64) {
+		ow := g.OutWeight(v)
+		if ow == 0 {
+			return // dangling or fully-external: absorb
+		}
+		share := mass * (1 - p.Alpha) / float64(ow)
+		for _, w := range g.Out(v) {
+			if g.IsVirtual(w) {
+				continue
+			}
+			e[w] += share
+			push(w)
+		}
+	}
+
+	// Step 0: the zero-length tour ends at u (α), and u expands even when
+	// it is a hub — the start position is not interior.
+	d[u] = p.Alpha
+	expand(u, 1)
+
+	steps := 0
+	limit := p.maxIter() * max(n, 1)
+	for len(queue) > 0 && steps < limit {
+		steps++
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		mass := e[v]
+		if mass <= p.Eps {
+			continue
+		}
+		e[v] = 0
+		if hub(v) {
+			blocked[v] += mass // frozen: no hub visits after the start
+			continue
+		}
+		d[v] += p.Alpha * mass // tours ending here
+		expand(v, mass)
+	}
+	partial = sparse.FromDense(d, 0)
+	hubBlocked = sparse.FromDense(blocked, 0)
+	return partial, hubBlocked, nil
+}
+
+// SkeletonForHub computes s_·(h) — the PPV value AT hub h for every source
+// node simultaneously — solving the paper's reverse value iteration (Eq. 8)
+//
+//	F(u) = (1−α)·Σ_{v∈Out(u)} F(v)/OutWeight(u) + α·x_h(u)
+//
+// with a residual-driven (Gauss–Seidel / local reverse push) scheme instead
+// of the dense Jacobi sweeps of Theorem 6: when all residuals fall below
+// Eps, each entry is within Eps/α of the fixed point, the same class of
+// guarantee as the paper's termination rule while touching only the nodes
+// h's influence actually reaches. Space is O(|V|), the point of §5.2.
+//
+// The returned dense slice is indexed by local node id; entry u converges
+// to s_u(h) — the local PPV value r_u(h).
+func SkeletonForHub(g *graph.Graph, h int32, p Params) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if h < 0 || int(h) >= n || g.IsVirtual(h) {
+		return nil, fmt.Errorf("ppr: hub %d invalid", h)
+	}
+	g.BuildReverse()
+	est := make([]float64, n)
+	res := make([]float64, n)
+	res[h] = p.Alpha
+	queue := make([]int32, 0, 64)
+	inQueue := make([]bool, n)
+	queue = append(queue, h)
+	inQueue[h] = true
+	steps := 0
+	limit := p.maxIter() * max(n, 1)
+	for len(queue) > 0 && steps < limit {
+		steps++
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		rho := res[u]
+		if rho <= p.Eps {
+			continue
+		}
+		res[u] = 0
+		est[u] += rho
+		// F(w) receives (1−α)·F(u)/OutWeight(w) for every edge w→u.
+		for _, w := range g.In(u) {
+			ow := g.OutWeight(w)
+			if ow == 0 || g.IsVirtual(w) {
+				continue
+			}
+			res[w] += (1 - p.Alpha) * rho / float64(ow)
+			if !inQueue[w] && res[w] > p.Eps {
+				inQueue[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if g.HasVirtualSink() {
+		est[g.VirtualSink()] = 0
+	}
+	return est, nil
+}
+
+// SkeletonForHubDense is the literal Jacobi iteration of Eq. 8/Theorem 6,
+// kept as a cross-validation oracle for SkeletonForHub and as the ablation
+// target for the "improved skeleton computation" claim of §5.2.
+func SkeletonForHubDense(g *graph.Graph, h int32, p Params) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if h < 0 || int(h) >= n || g.IsVirtual(h) {
+		return nil, fmt.Errorf("ppr: hub %d invalid", h)
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for iter := 0; iter < p.maxIter(); iter++ {
+		for u := int32(0); u < int32(n); u++ {
+			var acc float64
+			if ow := g.OutWeight(u); ow != 0 && !g.IsVirtual(u) {
+				var sum float64
+				for _, v := range g.Out(u) {
+					if !g.IsVirtual(v) {
+						sum += cur[v]
+					}
+				}
+				acc = (1 - p.Alpha) * sum / float64(ow)
+			}
+			if u == h {
+				acc += p.Alpha
+			}
+			next[u] = acc
+		}
+		converged := true
+		for i := range next {
+			if math.Abs(next[i]-cur[i]) > p.Eps*p.Alpha {
+				converged = false
+				break
+			}
+		}
+		cur, next = next, cur
+		if converged {
+			break
+		}
+	}
+	if g.HasVirtualSink() {
+		cur[g.VirtualSink()] = 0
+	}
+	return cur, nil
+}

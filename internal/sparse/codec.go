@@ -1,0 +1,53 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The wire format for a vector is:
+//
+//	uint32 count
+//	count × (int32 id, float64 score)  little-endian
+//
+// 4 + 12·len(v) bytes total. This is the unit in which the cluster layer
+// accounts communication cost, mirroring the paper's KB-on-the-wire metric.
+
+// EncodedSize returns the number of bytes Encode will produce for v.
+func EncodedSize(v Vector) int { return 4 + 12*len(v) }
+
+// Encode serializes v into a fresh byte slice.
+func Encode(v Vector) []byte {
+	buf := make([]byte, EncodedSize(v))
+	binary.LittleEndian.PutUint32(buf, uint32(len(v)))
+	off := 4
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(i))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(x))
+		off += 12
+	}
+	return buf
+}
+
+// Decode parses a vector previously produced by Encode.
+func Decode(buf []byte) (Vector, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("sparse: short buffer: %d bytes", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) != 4+12*n {
+		return nil, fmt.Errorf("sparse: buffer length %d does not match count %d", len(buf), n)
+	}
+	v := make(Vector, n)
+	off := 4
+	for k := 0; k < n; k++ {
+		id := int32(binary.LittleEndian.Uint32(buf[off:]))
+		x := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+4:]))
+		if x != 0 {
+			v[id] = x
+		}
+		off += 12
+	}
+	return v, nil
+}

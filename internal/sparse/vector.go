@@ -1,0 +1,260 @@
+// Package sparse provides the sparse floating-point vector type used for
+// PPVs, partial vectors, and hubs skeleton vectors throughout the module.
+//
+// Vectors are maps from node id to score. All of the pre-computed state in
+// GPA/HGPA is sparse by construction (Jeh–Widom tolerance truncation keeps
+// only entries above a threshold), so a hash-map representation wins over a
+// dense slice everywhere except inside the innermost power-iteration loops,
+// which use their own dense scratch buffers.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse vector keyed by node id. The zero value is usable.
+// A nil Vector behaves as the empty vector for read operations.
+type Vector map[int32]float64
+
+// New returns an empty vector with capacity hint n.
+func New(n int) Vector { return make(Vector, n) }
+
+// FromDense builds a sparse vector from a dense slice, dropping entries with
+// absolute value at or below eps.
+func FromDense(d []float64, eps float64) Vector {
+	v := make(Vector)
+	for i, x := range d {
+		if math.Abs(x) > eps {
+			v[int32(i)] = x
+		}
+	}
+	return v
+}
+
+// Dense materializes the vector as a dense slice of length n. Entries with
+// ids outside [0, n) are ignored.
+func (v Vector) Dense(n int) []float64 {
+	d := make([]float64, n)
+	for i, x := range v {
+		if 0 <= i && int(i) < n {
+			d[i] = x
+		}
+	}
+	return d
+}
+
+// Get returns the value at id (0 when absent).
+func (v Vector) Get(id int32) float64 { return v[id] }
+
+// Set assigns value x to id, deleting the entry when x == 0.
+func (v Vector) Set(id int32, x float64) {
+	if x == 0 {
+		delete(v, id)
+		return
+	}
+	v[id] = x
+}
+
+// Add accumulates x into the entry at id.
+func (v Vector) Add(id int32, x float64) {
+	if x == 0 {
+		return
+	}
+	n := v[id] + x
+	if n == 0 {
+		delete(v, id)
+		return
+	}
+	v[id] = n
+}
+
+// AddScaled accumulates c*other into v: v += c*other.
+func (v Vector) AddScaled(other Vector, c float64) {
+	if c == 0 {
+		return
+	}
+	for i, x := range other {
+		v.Add(i, c*x)
+	}
+}
+
+// Scale multiplies every entry by c in place. Scaling by 0 clears the vector.
+func (v Vector) Scale(c float64) {
+	if c == 0 {
+		clear(v)
+		return
+	}
+	if c == 1 {
+		return
+	}
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	for i, x := range v {
+		c[i] = x
+	}
+	return c
+}
+
+// Len reports the number of non-zero entries.
+func (v Vector) Len() int { return len(v) }
+
+// Sum returns the total mass of the vector.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// L1 returns the l1 norm Σ|v_i|.
+func (v Vector) L1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// LInf returns the l∞ norm max|v_i|.
+func (v Vector) LInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of v and other.
+func (v Vector) Dot(other Vector) float64 {
+	a, b := v, other
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var s float64
+	for i, x := range a {
+		if y, ok := b[i]; ok {
+			s += x * y
+		}
+	}
+	return s
+}
+
+// Truncate removes every entry with absolute value at or below eps and
+// returns the number of entries removed.
+func (v Vector) Truncate(eps float64) int {
+	removed := 0
+	for i, x := range v {
+		if math.Abs(x) <= eps {
+			delete(v, i)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Diff returns the entry-wise difference v - other as a new vector.
+func Diff(v, other Vector) Vector {
+	d := v.Clone()
+	for i, x := range other {
+		d.Add(i, -x)
+	}
+	return d
+}
+
+// L1Distance returns Σ|v_i - o_i|.
+func L1Distance(v, other Vector) float64 {
+	var s float64
+	for i, x := range v {
+		s += math.Abs(x - other[i])
+	}
+	for i, y := range other {
+		if _, ok := v[i]; !ok {
+			s += math.Abs(y)
+		}
+	}
+	return s
+}
+
+// LInfDistance returns max_i |v_i - o_i|.
+func LInfDistance(v, other Vector) float64 {
+	var m float64
+	for i, x := range v {
+		if d := math.Abs(x - other[i]); d > m {
+			m = d
+		}
+	}
+	for i, y := range other {
+		if _, ok := v[i]; !ok {
+			if d := math.Abs(y); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// Entry is one (id, score) pair of a vector.
+type Entry struct {
+	ID    int32
+	Score float64
+}
+
+// Entries returns the non-zero entries sorted by id ascending.
+func (v Vector) Entries() []Entry {
+	es := make([]Entry, 0, len(v))
+	for i, x := range v {
+		es = append(es, Entry{i, x})
+	}
+	sort.Slice(es, func(a, b int) bool { return es[a].ID < es[b].ID })
+	return es
+}
+
+// TopK returns the k highest-scoring entries, ties broken by smaller id.
+// If k exceeds the number of entries, all entries are returned.
+func (v Vector) TopK(k int) []Entry {
+	es := make([]Entry, 0, len(v))
+	for i, x := range v {
+		es = append(es, Entry{i, x})
+	}
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].Score != es[b].Score {
+			return es[a].Score > es[b].Score
+		}
+		return es[a].ID < es[b].ID
+	})
+	if k < len(es) {
+		es = es[:k]
+	}
+	return es
+}
+
+// String renders up to 8 entries, for debugging.
+func (v Vector) String() string {
+	es := v.Entries()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range es {
+		if i == 8 {
+			fmt.Fprintf(&b, " …(%d more)", len(es)-8)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.4g", e.ID, e.Score)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

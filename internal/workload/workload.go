@@ -1,0 +1,77 @@
+// Package workload provides the dataset registry and query workload
+// generation for the experiment harness: named graphs (the §6.1 dataset
+// analogues or user-supplied edge lists) plus the paper's random query
+// sampling ("we randomly choose 1000 nodes as query nodes").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"exactppr/internal/gen"
+	"exactppr/internal/graph"
+)
+
+// Dataset is a named graph ready for experiments.
+type Dataset struct {
+	Name  string
+	G     *graph.Graph
+	Paper gen.DatasetSpec // zero for non-preset datasets
+}
+
+// Load resolves a dataset by name. Accepted forms:
+//
+//   - a preset name (email, web, youtube, pld, pld_full) — generated at
+//     the given scale;
+//   - "meetup:M1" .. "meetup:M5" — the Table 6 analogues;
+//   - "file:PATH" — a SNAP edge-list file.
+func Load(name string, scale float64, seed int64) (*Dataset, error) {
+	switch {
+	case strings.HasPrefix(name, "file:"):
+		path := strings.TrimPrefix(name, "file:")
+		g, err := graph.LoadEdgeListFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Dataset{Name: path, G: g}, nil
+	case strings.HasPrefix(name, "meetup:"):
+		id := strings.TrimPrefix(name, "meetup:")
+		for i, s := range gen.MeetupSizes {
+			if s.ID == id {
+				g, err := gen.MeetupLike(i, seed)
+				if err != nil {
+					return nil, err
+				}
+				return &Dataset{Name: "Meetup-" + id, G: g}, nil
+			}
+		}
+		return nil, fmt.Errorf("workload: unknown meetup graph %q (M1..M5)", id)
+	default:
+		g, err := gen.Dataset(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Dataset{Name: gen.Specs[name].Name, G: g, Paper: gen.Specs[name]}, nil
+	}
+}
+
+// Queries samples n distinct query nodes uniformly at random,
+// deterministically for a seed. If n ≥ |V| every node is returned.
+func Queries(g *graph.Graph, n int, seed int64) []int32 {
+	total := g.NumNodes()
+	if n >= total {
+		out := make([]int32, total)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(total)
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(perm[i])
+	}
+	return out
+}

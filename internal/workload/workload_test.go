@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"exactppr/internal/graph"
+)
+
+func TestLoadPreset(t *testing.T) {
+	ds, err := Load("email", 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "Email" || ds.G.NumNodes() == 0 {
+		t.Fatalf("bad dataset: %+v", ds)
+	}
+	if ds.Paper.PaperNodes != 265214 {
+		t.Fatalf("paper spec not attached: %+v", ds.Paper)
+	}
+}
+
+func TestLoadMeetup(t *testing.T) {
+	ds, err := Load("meetup:M2", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "Meetup-M2" {
+		t.Fatalf("name = %q", ds.Name)
+	}
+	if _, err := Load("meetup:M9", 1, 1); err == nil {
+		t.Fatal("unknown meetup id should fail")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Load("file:"+path, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.G.NumNodes() != 3 || ds.G.NumEdges() != 2 {
+		t.Fatalf("file graph: %d/%d", ds.G.NumNodes(), ds.G.NumEdges())
+	}
+	if _, err := Load("file:/does/not/exist", 1, 1); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nope", 1, 1); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	g := graph.FromAdjacency([][]int32{{1}, {2}, {0}, {0}, {0}})
+	qs := Queries(g, 3, 7)
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	seen := map[int32]bool{}
+	for _, q := range qs {
+		if q < 0 || int(q) >= g.NumNodes() || seen[q] {
+			t.Fatalf("bad query set %v", qs)
+		}
+		seen[q] = true
+	}
+	// Deterministic for equal seeds.
+	qs2 := Queries(g, 3, 7)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	// n ≥ |V| returns everything.
+	all := Queries(g, 99, 1)
+	if len(all) != g.NumNodes() {
+		t.Fatalf("len = %d", len(all))
+	}
+}
