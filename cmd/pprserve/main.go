@@ -1,19 +1,33 @@
 // Command pprserve runs one side of the paper's distributed architecture
-// over TCP:
+// over TCP, plus an HTTP/JSON gateway for ordinary web clients.
 //
-// Worker mode — serve shard i of n from a store file:
+// Worker mode — serve shard i of n from a store file (multiplexed wire
+// protocol, bounded per-connection query pool):
 //
 //	pprserve -store web.store -shard 0 -of 3 -listen :7001
 //
-// Coordinator mode — query workers and print the result:
+// Coordinator mode — query workers once and print the result:
 //
 //	pprserve -coordinator -workers host1:7001,host2:7002,host3:7003 -node 42
+//
+// Gateway mode — serve HTTP over the workers (with -conns multiplexed
+// connections per worker):
+//
+//	pprserve -coordinator -workers host1:7001,host2:7002 -http :8080
+//
+// or over a local store with in-process shards (single-host quickstart):
+//
+//	pprserve -store web.store -of 4 -http :8080
+//
+// Gateway endpoints: GET /ppv/{node}?topk=K, POST /ppv (batch or
+// preference set), GET /healthz, GET /stats.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -24,19 +38,28 @@ import (
 
 func main() {
 	var (
-		storePath   = flag.String("store", "ppr.store", "store file (worker mode)")
+		storePath   = flag.String("store", "ppr.store", "store file (worker / local gateway mode)")
 		shard       = flag.Int("shard", 0, "shard index (worker mode)")
-		of          = flag.Int("of", 1, "total machines (worker mode)")
+		of          = flag.Int("of", 1, "total machines (worker / local gateway mode)")
 		listen      = flag.String("listen", ":7001", "listen address (worker mode)")
+		inFlight    = flag.Int("inflight", 0, "max concurrent queries per worker connection (0 = default)")
 		coordinator = flag.Bool("coordinator", false, "run as coordinator")
 		workers     = flag.String("workers", "", "comma-separated worker addresses (coordinator mode)")
-		node        = flag.Int("node", 0, "query node (coordinator mode)")
-		topk        = flag.Int("topk", 10, "entries to print (coordinator mode)")
+		conns       = flag.Int("conns", 1, "multiplexed connections per worker (coordinator mode)")
+		node        = flag.Int("node", 0, "query node (coordinator one-shot mode)")
+		topk        = flag.Int("topk", 10, "entries to print (coordinator one-shot mode)")
+		httpAddr    = flag.String("http", "", "serve the HTTP/JSON gateway on this address")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (gateway mode)")
 	)
 	flag.Parse()
 
 	if *coordinator {
-		runCoordinator(*workers, int32(*node), *topk)
+		coord := dialCoordinator(*workers, *conns)
+		if *httpAddr != "" {
+			runGateway(*httpAddr, coord, *timeout)
+			return
+		}
+		runQuery(coord, int32(*node), *topk)
 		return
 	}
 
@@ -44,6 +67,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *httpAddr != "" {
+		// Local gateway: shard the store across in-process machines and
+		// serve HTTP directly — no TCP workers needed on one host.
+		coord, err := cluster.NewLocalCluster(store, *of)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gateway: %d in-process shards\n", *of)
+		runGateway(*httpAddr, coord, *timeout)
+		return
+	}
+
 	shards, err := core.Split(store, *of)
 	if err != nil {
 		fatal(err)
@@ -58,37 +94,51 @@ func main() {
 	sh := shards[*shard]
 	fmt.Fprintf(os.Stderr, "worker: shard %d/%d (%d hubs, %d leaves, %.2f MB) listening on %s\n",
 		*shard, *of, sh.HubCount(), sh.LeafCount(), float64(sh.SpaceBytes())/(1<<20), l.Addr())
-	if err := cluster.Serve(l, &cluster.ShardMachine{Shard: sh}); err != nil {
+	srv := &cluster.Server{Machine: &cluster.ShardMachine{Shard: sh}, MaxInFlight: *inFlight}
+	if err := srv.Serve(l); err != nil {
 		fatal(err)
 	}
 }
 
-func runCoordinator(workerList string, node int32, topk int) {
+func dialCoordinator(workerList string, conns int) *cluster.Coordinator {
 	addrs := strings.Split(workerList, ",")
 	if workerList == "" || len(addrs) == 0 {
 		fatal(fmt.Errorf("coordinator mode needs -workers"))
 	}
 	var machines []cluster.Machine
 	for _, addr := range addrs {
-		m, err := cluster.DialMachine(strings.TrimSpace(addr))
+		p, err := cluster.DialPool(strings.TrimSpace(addr), conns)
 		if err != nil {
 			fatal(fmt.Errorf("dial %s: %w", addr, err))
 		}
-		defer m.Close()
-		machines = append(machines, m)
+		machines = append(machines, p)
 	}
 	coord, err := cluster.NewCoordinator(machines...)
 	if err != nil {
 		fatal(err)
 	}
+	return coord
+}
+
+func runQuery(coord *cluster.Coordinator, node int32, topk int) {
 	stats, err := coord.Query(node)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("query %d over %d workers: %v wall, %.1f KB received\n",
-		node, len(machines), stats.Wall.Round(time.Microsecond), float64(stats.BytesReceived)/1024)
+		node, coord.NumMachines(), stats.Wall.Round(time.Microsecond), float64(stats.BytesReceived)/1024)
 	for i, e := range stats.Result.TopK(topk) {
 		fmt.Printf("%3d. node %-8d %.6f\n", i+1, e.ID, e.Score)
+	}
+}
+
+func runGateway(addr string, coord *cluster.Coordinator, timeout time.Duration) {
+	g := cluster.NewGateway(coord)
+	g.Timeout = timeout
+	fmt.Fprintf(os.Stderr, "gateway: serving HTTP on %s (%d machines, %v timeout)\n",
+		addr, coord.NumMachines(), timeout)
+	if err := http.ListenAndServe(addr, g.Handler()); err != nil {
+		fatal(err)
 	}
 }
 

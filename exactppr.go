@@ -65,6 +65,11 @@ type (
 	Machine = cluster.Machine
 	// ShardMachine is an in-process Machine over a Shard.
 	ShardMachine = cluster.ShardMachine
+	// Gateway serves PPV queries over HTTP/JSON.
+	Gateway = cluster.Gateway
+	// Querier is the backend interface a Gateway serves from
+	// (implemented by Coordinator).
+	Querier = cluster.Querier
 	// NetworkModel converts rounds and bytes into modeled wire time.
 	NetworkModel = cluster.NetworkModel
 	// GenConfig parameterizes the synthetic community-graph generator.
@@ -121,8 +126,17 @@ func NewCoordinator(machines ...Machine) (*Coordinator, error) {
 	return cluster.NewCoordinator(machines...)
 }
 
-// DialMachine connects to a pprserve worker.
+// DialMachine connects to a pprserve worker over one multiplexed TCP
+// connection (any number of queries may be in flight concurrently).
 func DialMachine(addr string) (*cluster.TCPMachine, error) { return cluster.DialMachine(addr) }
+
+// DialPool connects to a pprserve worker over n multiplexed TCP
+// connections, spreading calls round-robin for socket-level parallelism.
+func DialPool(addr string, n int) (*cluster.Pool, error) { return cluster.DialPool(addr, n) }
+
+// NewGateway exposes a coordinator (or any cluster.Querier) over
+// HTTP/JSON: GET /ppv/{node}, POST /ppv, /healthz, /stats.
+func NewGateway(b cluster.Querier) *Gateway { return cluster.NewGateway(b) }
 
 // PowerIteration computes a PPV by plain power iteration — the exactness
 // oracle and the baseline the paper beats.

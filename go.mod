@@ -1,0 +1,3 @@
+module exactppr
+
+go 1.24

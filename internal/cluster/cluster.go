@@ -6,14 +6,24 @@
 // package accounts the bytes of every response so the communication-cost
 // experiments (Figures 13, 22, 28) measure real encoded payloads.
 //
+// The serving layer is fully concurrent: the one-round protocol is
+// embarrassingly parallel across queries, so the TCP transport
+// multiplexes many in-flight queries over one connection (request-id
+// demux, see mux.go), workers execute frames on a bounded goroutine pool
+// (tcp.go), and the Coordinator is safe for concurrent Query/QuerySet
+// calls with per-query context cancellation. An HTTP/JSON gateway
+// (gateway.go) exposes the whole thing to ordinary web clients.
+//
 // Two transports are provided: in-process machines (goroutines over
 // shards — used by benchmarks, zero network noise) and TCP machines
-// (length-prefixed frames over real sockets — used by the distributed
-// example and integration tests). Both speak through the Machine
-// interface, so the Coordinator is transport-agnostic.
+// (length-prefixed multiplexed frames over real sockets — used by the
+// distributed example and integration tests). Both speak through the
+// Machine interface, so the Coordinator is transport-agnostic.
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -23,14 +33,16 @@ import (
 )
 
 // Machine answers PPV queries with this machine's additive share.
-// Implementations must be safe for concurrent calls.
+// Implementations must be safe for concurrent calls; a call must honor
+// context cancellation at least on the transport level (an in-process
+// machine may finish small computations instead of polling the context).
 type Machine interface {
 	// QueryShare returns the machine's share of the PPV of u, encoded in
 	// the sparse wire format, plus the machine-local compute time.
-	QueryShare(u int32) (payload []byte, compute time.Duration, err error)
+	QueryShare(ctx context.Context, u int32) (payload []byte, compute time.Duration, err error)
 	// QuerySetShare is the preference-set variant (PPV linearity, §2):
 	// the machine's share of the weighted-set PPV, still one vector.
-	QuerySetShare(p core.Preference) (payload []byte, compute time.Duration, err error)
+	QuerySetShare(ctx context.Context, p core.Preference) (payload []byte, compute time.Duration, err error)
 }
 
 // ShardMachine is an in-process Machine over a core.Shard.
@@ -40,7 +52,10 @@ type ShardMachine struct {
 
 // QueryShare implements Machine. The share is encoded even in-process so
 // byte accounting matches what a network transport would carry.
-func (m *ShardMachine) QueryShare(u int32) ([]byte, time.Duration, error) {
+func (m *ShardMachine) QueryShare(ctx context.Context, u int32) ([]byte, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	start := time.Now()
 	v, err := m.Shard.QueryVector(u)
 	if err != nil {
@@ -51,7 +66,10 @@ func (m *ShardMachine) QueryShare(u int32) ([]byte, time.Duration, error) {
 }
 
 // QuerySetShare implements Machine for preference sets.
-func (m *ShardMachine) QuerySetShare(p core.Preference) ([]byte, time.Duration, error) {
+func (m *ShardMachine) QuerySetShare(ctx context.Context, p core.Preference) ([]byte, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	start := time.Now()
 	v, err := m.Shard.QuerySetVector(p)
 	if err != nil {
@@ -86,8 +104,14 @@ func (qs *QueryStats) MaxMachineTime() time.Duration {
 }
 
 // Coordinator fans a query out to all machines once and sums the shares.
+// It holds no per-query state, so any number of goroutines may call
+// Query/QuerySet concurrently; throughput then scales with worker-side
+// parallelism because the TCP transport multiplexes in-flight queries.
 type Coordinator struct {
 	machines []Machine
+	// Timeout, when non-zero, bounds every query that arrives without
+	// its own deadline. Zero means no coordinator-imposed deadline.
+	Timeout time.Duration
 }
 
 // NewCoordinator returns a coordinator over the given machines.
@@ -104,52 +128,49 @@ func (c *Coordinator) NumMachines() int { return len(c.machines) }
 // Query runs one exact PPV query: one request to each machine, one vector
 // back from each, summed locally. Machines are called concurrently.
 func (c *Coordinator) Query(u int32) (*QueryStats, error) {
-	start := time.Now()
-	type reply struct {
-		idx     int
-		payload []byte
-		compute time.Duration
-		err     error
-	}
-	replies := make([]reply, len(c.machines))
-	var wg sync.WaitGroup
-	wg.Add(len(c.machines))
-	for i, m := range c.machines {
-		go func(i int, m Machine) {
-			defer wg.Done()
-			payload, compute, err := m.QueryShare(u)
-			replies[i] = reply{i, payload, compute, err}
-		}(i, m)
-	}
-	wg.Wait()
+	return c.QueryCtx(context.Background(), u)
+}
 
-	stats := &QueryStats{
-		Result:      sparse.New(256),
-		MachineTime: make([]time.Duration, len(c.machines)),
-	}
-	for _, rp := range replies {
-		if rp.err != nil {
-			return nil, fmt.Errorf("cluster: machine %d: %w", rp.idx, rp.err)
-		}
-		v, err := sparse.Decode(rp.payload)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: machine %d payload: %w", rp.idx, err)
-		}
-		stats.BytesReceived += int64(len(rp.payload))
-		stats.MachineTime[rp.idx] = rp.compute
-		stats.Result.AddScaled(v, 1)
-	}
-	stats.Wall = time.Since(start)
-	return stats, nil
+// QueryCtx is Query with per-query cancellation: when ctx is done, the
+// fan-out is abandoned (in-flight worker calls are cancelled) and the
+// context error is returned.
+func (c *Coordinator) QueryCtx(ctx context.Context, u int32) (*QueryStats, error) {
+	return c.fanOut(ctx, func(ctx context.Context, m Machine) ([]byte, time.Duration, error) {
+		return m.QueryShare(ctx, u)
+	})
 }
 
 // QuerySet runs the one-round protocol for a preference node set: each
 // machine folds its weighted-set share, the coordinator sums. Exactness
 // follows from PPV linearity plus the shard decomposition.
 func (c *Coordinator) QuerySet(p core.Preference) (*QueryStats, error) {
+	return c.QuerySetCtx(context.Background(), p)
+}
+
+// QuerySetCtx is QuerySet with per-query cancellation.
+func (c *Coordinator) QuerySetCtx(ctx context.Context, p core.Preference) (*QueryStats, error) {
+	return c.fanOut(ctx, func(ctx context.Context, m Machine) ([]byte, time.Duration, error) {
+		return m.QuerySetShare(ctx, p)
+	})
+}
+
+// fanOut implements the one-round protocol: call every machine once,
+// concurrently, and sum the decoded shares. The first failure cancels
+// the remaining calls and is reported with its machine index, so a
+// worker dying mid-flight surfaces as one clean error instead of a hang.
+func (c *Coordinator) fanOut(ctx context.Context, call func(context.Context, Machine) ([]byte, time.Duration, error)) (*QueryStats, error) {
 	start := time.Now()
+	if c.Timeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+			defer cancel()
+		}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	type reply struct {
-		idx     int
 		payload []byte
 		compute time.Duration
 		err     error
@@ -160,29 +181,48 @@ func (c *Coordinator) QuerySet(p core.Preference) (*QueryStats, error) {
 	for i, m := range c.machines {
 		go func(i int, m Machine) {
 			defer wg.Done()
-			payload, compute, err := m.QuerySetShare(p)
-			replies[i] = reply{i, payload, compute, err}
+			payload, compute, err := call(ctx, m)
+			replies[i] = reply{payload, compute, err}
+			if err != nil {
+				cancel() // release the other machines early
+			}
 		}(i, m)
 	}
 	wg.Wait()
+
 	stats := &QueryStats{
 		Result:      sparse.New(256),
 		MachineTime: make([]time.Duration, len(c.machines)),
 	}
-	for _, rp := range replies {
+	// Report the most informative error: a machine failure beats the
+	// context cancellation it triggered on its siblings.
+	var firstErr error
+	for i, rp := range replies {
 		if rp.err != nil {
-			return nil, fmt.Errorf("cluster: machine %d: %w", rp.idx, rp.err)
+			err := fmt.Errorf("cluster: machine %d: %w", i, rp.err)
+			if firstErr == nil || isCancel(firstErr) && !isCancel(err) {
+				firstErr = err
+			}
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, rp := range replies {
 		v, err := sparse.Decode(rp.payload)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: machine %d payload: %w", rp.idx, err)
+			return nil, fmt.Errorf("cluster: machine %d payload: %w", i, err)
 		}
 		stats.BytesReceived += int64(len(rp.payload))
-		stats.MachineTime[rp.idx] = rp.compute
+		stats.MachineTime[i] = rp.compute
 		stats.Result.AddScaled(v, 1)
 	}
 	stats.Wall = time.Since(start)
 	return stats, nil
+}
+
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // QuerySequential runs the same one-round protocol but calls machines one
@@ -194,12 +234,13 @@ func (c *Coordinator) QuerySet(p core.Preference) (*QueryStats, error) {
 // when the simulation host has fewer cores than simulated machines.
 func (c *Coordinator) QuerySequential(u int32) (*QueryStats, error) {
 	start := time.Now()
+	ctx := context.Background()
 	stats := &QueryStats{
 		Result:      sparse.New(256),
 		MachineTime: make([]time.Duration, len(c.machines)),
 	}
 	for i, m := range c.machines {
-		payload, compute, err := m.QueryShare(u)
+		payload, compute, err := m.QueryShare(ctx, u)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
 		}

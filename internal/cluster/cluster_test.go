@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -12,16 +13,20 @@ import (
 	"exactppr/internal/sparse"
 )
 
-func testStore(t *testing.T) *core.Store {
-	t.Helper()
+func buildStore() (*core.Store, error) {
 	g, err := gen.Community(gen.Config{
 		Nodes: 300, AvgOutDegree: 4, Communities: 3,
 		InterFrac: 0.05, MinOutDegree: 1, Seed: 2,
 	})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
-	s, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1}, ppr.Params{Alpha: 0.15, Eps: 1e-7}, 2)
+	return core.BuildHGPA(g, hierarchy.Options{Seed: 1}, ppr.Params{Alpha: 0.15, Eps: 1e-7}, 2)
+}
+
+func testStore(t *testing.T) *core.Store {
+	t.Helper()
+	s, err := buildStore()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +176,11 @@ func TestTCPWorkerError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, _, err := m.QueryShare(-42); err == nil {
+	if _, _, err := m.QueryShare(context.Background(), -42); err == nil {
 		t.Fatal("out-of-range query should return a worker error")
 	}
 	// The connection must survive the error (opError keeps streaming).
-	if _, _, err := m.QueryShare(1); err != nil {
+	if _, _, err := m.QueryShare(context.Background(), 1); err != nil {
 		t.Fatalf("connection should survive a worker error: %v", err)
 	}
 }
@@ -185,14 +190,14 @@ func TestFrameRoundTrip(t *testing.T) {
 	defer client.Close()
 	defer server.Close()
 	go func() {
-		writeFrame(server, opShare, []byte("hello"))
+		writeFrame(server, opShare, 42, []byte("hello"))
 	}()
-	op, payload, err := readFrame(client)
+	op, id, payload, err := readFrame(client)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if op != opShare || string(payload) != "hello" {
-		t.Fatalf("frame = %d %q", op, payload)
+	if op != opShare || id != 42 || string(payload) != "hello" {
+		t.Fatalf("frame = %d id=%d %q", op, id, payload)
 	}
 }
 
@@ -213,7 +218,7 @@ func TestTCPMachineConcurrentSafe(t *testing.T) {
 	done := make(chan error, 8)
 	for i := 0; i < 8; i++ {
 		go func(u int32) {
-			_, _, err := m.QueryShare(u)
+			_, _, err := m.QueryShare(context.Background(), u)
 			done <- err
 		}(int32(i))
 	}

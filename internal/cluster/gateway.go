@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exactppr/internal/core"
+	"exactppr/internal/sparse"
+)
+
+// Querier is the backend a Gateway serves from. *Coordinator implements
+// it; anything answering exact PPV queries with per-query cancellation
+// works (e.g. a single-store adapter in tests).
+type Querier interface {
+	QueryCtx(ctx context.Context, u int32) (*QueryStats, error)
+	QuerySetCtx(ctx context.Context, p core.Preference) (*QueryStats, error)
+}
+
+// Gateway exposes a Querier over HTTP/JSON:
+//
+//	GET  /ppv/{node}?topk=K   one PPV query, top-K entries
+//	POST /ppv                 batch: many sources fanned out concurrently,
+//	                          or one weighted preference-set query
+//	GET  /healthz             liveness + uptime
+//	GET  /stats               serving counters (queries, errors, bytes, …)
+//
+// The zero value is not usable; construct with NewGateway. All handlers
+// are safe for concurrent use — concurrency is the point: every request
+// rides the multiplexed cluster transport without queueing behind others.
+type Gateway struct {
+	backend Querier
+
+	// Timeout bounds each backend query (default 30s).
+	Timeout time.Duration
+	// MaxBatch caps the number of sources in one POST /ppv (default 1024).
+	MaxBatch int
+	// BatchConcurrency bounds the fan-out of one batch request
+	// (default 2×GOMAXPROCS).
+	BatchConcurrency int
+	// DefaultTopK is used when a request has no topk parameter (default 10).
+	DefaultTopK int
+
+	start    time.Time
+	queries  atomic.Int64 // single-source queries answered OK
+	batches  atomic.Int64 // batch requests answered
+	errors   atomic.Int64 // queries that failed
+	inFlight atomic.Int64
+	bytes    atomic.Int64 // cluster payload bytes behind HTTP answers
+	wallNs   atomic.Int64 // summed backend wall time of OK queries
+}
+
+// Gateway defaults, applied by NewGateway and as fallbacks for zeroed
+// fields so the limits can never be configured away entirely.
+const (
+	defaultGatewayTimeout = 30 * time.Second
+	defaultGatewayBatch   = 1024
+	defaultGatewayTopK    = 10
+)
+
+// NewGateway returns a Gateway over b with default limits.
+func NewGateway(b Querier) *Gateway {
+	return &Gateway{
+		backend:          b,
+		Timeout:          defaultGatewayTimeout,
+		MaxBatch:         defaultGatewayBatch,
+		BatchConcurrency: 2 * runtime.GOMAXPROCS(0),
+		DefaultTopK:      defaultGatewayTopK,
+		start:            time.Now(),
+	}
+}
+
+func (g *Gateway) timeout() time.Duration {
+	if g.Timeout > 0 {
+		return g.Timeout
+	}
+	return defaultGatewayTimeout
+}
+
+func (g *Gateway) maxBatch() int {
+	if g.MaxBatch > 0 {
+		return g.MaxBatch
+	}
+	return defaultGatewayBatch
+}
+
+func (g *Gateway) defaultTopK() int {
+	if g.DefaultTopK > 0 {
+		return g.DefaultTopK
+	}
+	return defaultGatewayTopK
+}
+
+func (g *Gateway) batchWorkers() int {
+	if g.BatchConcurrency > 0 {
+		return g.BatchConcurrency
+	}
+	return 2 * runtime.GOMAXPROCS(0)
+}
+
+// Handler returns the gateway's routing table.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ppv/{node}", g.handleSingle)
+	mux.HandleFunc("POST /ppv", g.handleBatch)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /stats", g.handleStats)
+	return mux
+}
+
+// entryJSON is one (node, score) element of a top-k answer.
+type entryJSON struct {
+	ID    int32   `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// resultJSON is one answered PPV query.
+type resultJSON struct {
+	Node   *int32      `json:"node,omitempty"` // nil for preference-set answers
+	TopK   []entryJSON `json:"topk,omitempty"`
+	WallNs int64       `json:"wall_ns,omitempty"`
+	Bytes  int64       `json:"bytes,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// batchRequest is the POST /ppv body. Plain nodes fan out as independent
+// single-source queries; set=true folds nodes (+optional weights) into
+// one preference-set query via PPV linearity.
+type batchRequest struct {
+	Nodes   []int32   `json:"nodes"`
+	Weights []float64 `json:"weights,omitempty"`
+	TopK    int       `json:"topk,omitempty"`
+	Set     bool      `json:"set,omitempty"`
+}
+
+func (g *Gateway) queryCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, g.timeout())
+}
+
+func (g *Gateway) topK(r *http.Request) (int, error) {
+	k := g.defaultTopK()
+	if s := r.URL.Query().Get("topk"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("bad topk %q", s)
+		}
+		k = v
+	}
+	return k, nil
+}
+
+// runSingle answers one source query under its own Timeout-derived
+// deadline, so every query in a batch gets the full per-query budget.
+// The raw error is returned alongside the JSON so handlers can pick a
+// status code; batch callers embed the message in place instead.
+func (g *Gateway) runSingle(parent context.Context, u int32, k int) (resultJSON, error) {
+	ctx, cancel := g.queryCtx(parent)
+	defer cancel()
+	g.inFlight.Add(1)
+	defer g.inFlight.Add(-1)
+	stats, err := g.backend.QueryCtx(ctx, u)
+	if err != nil {
+		g.errors.Add(1)
+		return resultJSON{Node: &u, Error: err.Error()}, err
+	}
+	g.queries.Add(1)
+	g.bytes.Add(stats.BytesReceived)
+	g.wallNs.Add(int64(stats.Wall))
+	return resultJSON{Node: &u, TopK: topEntries(stats.Result, k), WallNs: int64(stats.Wall), Bytes: stats.BytesReceived}, nil
+}
+
+// runSet is runSingle for one weighted preference-set query.
+func (g *Gateway) runSet(parent context.Context, p core.Preference, k int) (resultJSON, error) {
+	ctx, cancel := g.queryCtx(parent)
+	defer cancel()
+	g.inFlight.Add(1)
+	defer g.inFlight.Add(-1)
+	stats, err := g.backend.QuerySetCtx(ctx, p)
+	if err != nil {
+		g.errors.Add(1)
+		return resultJSON{Error: err.Error()}, err
+	}
+	g.queries.Add(1)
+	g.bytes.Add(stats.BytesReceived)
+	g.wallNs.Add(int64(stats.Wall))
+	return resultJSON{TopK: topEntries(stats.Result, k), WallNs: int64(stats.Wall), Bytes: stats.BytesReceived}, nil
+}
+
+// queryErrorStatus maps a failed backend query to an HTTP status: a
+// deadline is the gateway timing out (504), an out-of-range node is the
+// client asking for something that does not exist (404 — matched on the
+// error text because worker errors cross the wire as strings), anything
+// else is a broken or unhappy cluster behind the gateway (502).
+func queryErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case strings.Contains(err.Error(), "out of range"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+func topEntries(v sparse.Vector, k int) []entryJSON {
+	entries := v.TopK(k)
+	out := make([]entryJSON, len(entries))
+	for i, e := range entries {
+		out[i] = entryJSON{ID: e.ID, Score: e.Score}
+	}
+	return out
+}
+
+func (g *Gateway) handleSingle(w http.ResponseWriter, r *http.Request) {
+	node, err := strconv.ParseInt(r.PathValue("node"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad node %q", r.PathValue("node")))
+		return
+	}
+	k, err := g.topK(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := g.runSingle(r.Context(), int32(node), k)
+	if err != nil {
+		writeJSON(w, queryErrorStatus(err), res)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	maxBatch := g.maxBatch()
+	// Cap the body BEFORE decoding so an oversized batch is rejected on
+	// size, not materialized in memory first. 48 bytes covers one node
+	// plus a full-precision float64 weight in worst-case JSON; 4 KiB
+	// covers the envelope.
+	body := http.MaxBytesReader(w, r.Body, int64(maxBatch)*48+4096)
+	var req batchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes — split the batch", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Nodes) == 0 {
+		httpError(w, http.StatusBadRequest, "empty nodes")
+		return
+	}
+	if len(req.Nodes) > maxBatch {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Nodes), maxBatch))
+		return
+	}
+	if req.Weights != nil && !req.Set {
+		// Refuse rather than silently answer unweighted per-node queries.
+		httpError(w, http.StatusBadRequest, "weights require \"set\":true")
+		return
+	}
+	if req.Weights != nil && len(req.Weights) != len(req.Nodes) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("%d nodes but %d weights", len(req.Nodes), len(req.Weights)))
+		return
+	}
+	k := req.TopK
+	if k < 1 {
+		k = g.defaultTopK()
+	}
+	g.batches.Add(1)
+
+	if req.Set {
+		res, err := g.runSet(r.Context(), core.Preference{Nodes: req.Nodes, Weights: req.Weights}, k)
+		if err != nil {
+			writeJSON(w, queryErrorStatus(err), res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+
+	// Fan the sources out concurrently; a bounded worker group keeps one
+	// huge batch from monopolizing the cluster. Per-source failures are
+	// reported in place so one bad node does not sink its batch-mates.
+	results := make([]resultJSON, len(req.Nodes))
+	sem := make(chan struct{}, g.batchWorkers())
+	var wg sync.WaitGroup
+	for i, u := range req.Nodes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, u int32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], _ = g.runSingle(r.Context(), u, k)
+		}(i, u)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, struct {
+		Results []resultJSON `json:"results"`
+	}{results})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	machines := 0
+	if c, ok := g.backend.(interface{ NumMachines() int }); ok {
+		machines = c.NumMachines()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(g.start).Seconds(),
+		"machines": machines,
+	})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	ok := g.queries.Load()
+	var avg int64
+	if ok > 0 {
+		avg = g.wallNs.Load() / ok
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":        ok,
+		"batches":        g.batches.Load(),
+		"errors":         g.errors.Load(),
+		"in_flight":      g.inFlight.Load(),
+		"bytes_received": g.bytes.Load(),
+		"avg_wall_ns":    avg,
+		"uptime_s":       time.Since(g.start).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

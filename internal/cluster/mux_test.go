@@ -1,0 +1,612 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"exactppr/internal/core"
+	"exactppr/internal/sparse"
+)
+
+// gateMachine wraps a Machine and holds every query at the gate until
+// released, counting arrivals — the instrument for proving genuine
+// in-flight concurrency on the worker side.
+type gateMachine struct {
+	inner   Machine
+	entered atomic.Int64
+	release chan struct{}
+}
+
+func newGateMachine(inner Machine) *gateMachine {
+	return &gateMachine{inner: inner, release: make(chan struct{})}
+}
+
+func (g *gateMachine) wait(ctx context.Context) error {
+	select {
+	case <-g.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gateMachine) QueryShare(ctx context.Context, u int32) ([]byte, time.Duration, error) {
+	g.entered.Add(1)
+	if err := g.wait(ctx); err != nil {
+		return nil, 0, err
+	}
+	return g.inner.QueryShare(ctx, u)
+}
+
+func (g *gateMachine) QuerySetShare(ctx context.Context, p core.Preference) ([]byte, time.Duration, error) {
+	g.entered.Add(1)
+	if err := g.wait(ctx); err != nil {
+		return nil, 0, err
+	}
+	return g.inner.QuerySetShare(ctx, p)
+}
+
+func startWorker(t *testing.T, m Machine) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, m)
+	return l.Addr().String(), func() { l.Close() }
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMux64InFlightOneConnection: a single worker holds 64 queries
+// simultaneously in flight over ONE multiplexed TCP connection, and when
+// released every response demuxes back to the caller that asked for it.
+func TestMux64InFlightOneConnection(t *testing.T) {
+	s := testStore(t)
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGateMachine(&ShardMachine{Shard: shards[0]})
+	addr, stop := startWorker(t, gate)
+	defer stop()
+	m, err := DialMachine(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const inFlight = 64
+	errs := make([]error, inFlight)
+	payloads := make([][]byte, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payloads[i], _, errs[i] = m.QueryShare(context.Background(), int32(i))
+		}(i)
+	}
+	// All 64 must reach the worker's gate before anything is answered:
+	// that is ≥64 concurrent in-flight queries on one connection.
+	waitFor(t, "64 in-flight queries", func() bool { return gate.entered.Load() == inFlight })
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < inFlight; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		got, err := sparse.Decode(payloads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := shards[0].QueryVector(int32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each caller must get the answer to ITS source node — any demux
+		// mix-up swaps whole distinct vectors and trips this immediately.
+		if d := sparse.LInfDistance(got, want); d != 0 {
+			t.Fatalf("query %d demuxed wrong response, L∞ = %v", i, d)
+		}
+	}
+}
+
+// delayMachine adds a fixed latency to every query, standing in for the
+// network + compute time of a realistically loaded worker.
+type delayMachine struct {
+	inner Machine
+	delay time.Duration
+}
+
+func (d *delayMachine) QueryShare(ctx context.Context, u int32) ([]byte, time.Duration, error) {
+	select {
+	case <-time.After(d.delay):
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+	return d.inner.QueryShare(ctx, u)
+}
+
+func (d *delayMachine) QuerySetShare(ctx context.Context, p core.Preference) ([]byte, time.Duration, error) {
+	select {
+	case <-time.After(d.delay):
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+	return d.inner.QuerySetShare(ctx, p)
+}
+
+// TestThroughputScalesWithConcurrency: with 20ms of per-query worker
+// latency, 32 concurrent clients on ONE multiplexed connection finish in
+// a fraction of the 32×20ms a lock-step protocol would need — the old
+// protocol's 1/latency throughput cap is gone.
+func TestThroughputScalesWithConcurrency(t *testing.T) {
+	s := testStore(t)
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 20 * time.Millisecond
+	const clients = 32
+	addr, stop := startWorker(t, &delayMachine{inner: &ShardMachine{Shard: shards[0]}, delay: delay})
+	defer stop()
+	m, err := DialMachine(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Query(int32(i))
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	// Lock-step would take clients×delay = 640ms; overlapped in-flight
+	// queries should take ~delay. A 4× margin keeps slow CI hosts green
+	// while still proving genuine overlap.
+	if lockStep := time.Duration(clients) * delay; wall > lockStep/4 {
+		t.Fatalf("32 concurrent queries took %v — not overlapping (lock-step would be %v)", wall, lockStep)
+	}
+}
+
+// recordingListener hands accepted connections to the test so it can
+// sever them mid-flight, simulating a worker crash.
+type recordingListener struct {
+	net.Listener
+	conns chan net.Conn
+}
+
+func (l *recordingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.conns <- c
+	}
+	return c, err
+}
+
+// TestWorkerKilledMidFlight: severing the worker connection fails every
+// in-flight query promptly (no hangs) while a healthy worker keeps
+// serving untouched.
+func TestWorkerKilledMidFlight(t *testing.T) {
+	s := testStore(t)
+	shards, err := core.Split(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Doomed worker, gated so queries are provably in flight at the kill.
+	gate := newGateMachine(&ShardMachine{Shard: shards[0]})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	rl := &recordingListener{Listener: inner, conns: make(chan net.Conn, 1)}
+	go Serve(rl, gate)
+	doomed, err := DialMachine(rl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer doomed.Close()
+
+	// Healthy worker.
+	healthyAddr, stopHealthy := startWorker(t, &ShardMachine{Shard: shards[1]})
+	defer stopHealthy()
+	healthy, err := DialMachine(healthyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	const inFlight = 16
+	errs := make([]error, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = doomed.QueryShare(context.Background(), int32(i))
+		}(i)
+	}
+	waitFor(t, "in-flight queries", func() bool { return gate.entered.Load() == inFlight })
+
+	workerConn := <-rl.conns
+	workerConn.Close() // kill the worker mid-flight
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight queries hung after worker death")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("query %d succeeded after its worker was killed", i)
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("query %d: want a transport error, got %v", i, err)
+		}
+	}
+	if doomed.Healthy() {
+		t.Fatal("dead transport still reports healthy")
+	}
+
+	// The other worker is untouched.
+	if _, _, err := healthy.QueryShare(context.Background(), 1); err != nil {
+		t.Fatalf("healthy worker affected by sibling death: %v", err)
+	}
+
+	// A coordinator over the pair surfaces the dead machine as one clean
+	// error (extending the TestCoordinatorPropagatesDeadMachine contract).
+	c, err := NewCoordinator(doomed, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(1); err == nil {
+		t.Fatal("coordinator must propagate the dead machine")
+	}
+}
+
+// TestMuxContextTimeout: a per-query deadline abandons only that query;
+// the connection survives and the late response is silently discarded.
+func TestMuxContextTimeout(t *testing.T) {
+	s := testStore(t)
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGateMachine(&ShardMachine{Shard: shards[0]})
+	addr, stop := startWorker(t, gate)
+	defer stop()
+	m, err := DialMachine(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := m.QueryShare(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	close(gate.release) // the abandoned query now completes server-side
+
+	// Same connection, fresh query: the stale response must not be
+	// delivered to the new request id.
+	payload, _, err := m.QueryShare(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("connection should survive an abandoned query: %v", err)
+	}
+	got, err := sparse.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := shards[0].QueryVector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sparse.LInfDistance(got, want); d != 0 {
+		t.Fatalf("post-timeout query demuxed wrong response, L∞ = %v", d)
+	}
+}
+
+// TestCoordinatorTimeout: the coordinator-level default deadline turns a
+// stuck worker into a clean deadline error.
+func TestCoordinatorTimeout(t *testing.T) {
+	s := testStore(t)
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGateMachine(&ShardMachine{Shard: shards[0]})
+	defer close(gate.release)
+	addr, stop := startWorker(t, gate)
+	defer stop()
+	m, err := DialMachine(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c, err := NewCoordinator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Timeout = 50 * time.Millisecond
+	if _, err := c.Query(1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestPool: round-robin over several multiplexed connections, surviving
+// the death of one of them.
+func TestPool(t *testing.T) {
+	s := testStore(t)
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startWorker(t, &ShardMachine{Shard: shards[0]})
+	defer stop()
+	p, err := DialPool(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = p.QueryShare(context.Background(), int32(i%8))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pooled query %d: %v", i, err)
+		}
+	}
+
+	// One broken socket must not poison the pool: the slot is either
+	// skipped or re-dialed while the worker is alive.
+	p.conns[0].Close()
+	for i := 0; i < 6; i++ {
+		if _, _, err := p.QueryShare(context.Background(), 1); err != nil {
+			t.Fatalf("pool should route around a dead connection: %v", err)
+		}
+	}
+	// …and the background heal restores full parallelism.
+	waitFor(t, "pool heal", func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for _, m := range p.conns {
+			if !m.Healthy() {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Worker gone entirely: every socket dead and re-dial refused — the
+	// pool must error cleanly, not hang.
+	stop()
+	for _, m := range p.conns {
+		m.Close()
+	}
+	if _, _, err := p.QueryShare(context.Background(), 1); err == nil {
+		t.Fatal("pool with an unreachable worker must error")
+	}
+
+	// A restarted worker on the same address heals the pool via re-dial.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer l.Close()
+	go Serve(l, &ShardMachine{Shard: shards[0]})
+	if _, _, err := p.QueryShare(context.Background(), 1); err != nil {
+		t.Fatalf("pool should re-dial a restarted worker: %v", err)
+	}
+}
+
+// TestCoordinatorConcurrentQueries: many goroutines share one coordinator
+// over multiplexed TCP machines; every answer matches the central store.
+func TestCoordinatorConcurrentQueries(t *testing.T) {
+	s := testStore(t)
+	shards, err := core.Split(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var machines []Machine
+	for _, sh := range shards {
+		addr, stop := startWorker(t, &ShardMachine{Shard: sh})
+		defer stop()
+		m, err := DialMachine(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		machines = append(machines, m)
+	}
+	c, err := NewCoordinator(machines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 16
+	const perClient = 8
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				u := int32((g*perClient + j) % 300)
+				stats, err := c.Query(u)
+				if err != nil {
+					errCh <- fmt.Errorf("u=%d: %w", u, err)
+					return
+				}
+				want, err := s.Query(u)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if d := sparse.LInfDistance(stats.Result, want); d > 1e-12 {
+					errCh <- fmt.Errorf("u=%d: concurrent distributed ≠ central, L∞ = %v", u, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkTCPCoordinator measures query throughput against one TCP
+// worker over one multiplexed connection. The parallel variant issues
+// queries from many goroutines; on a multi-core runner it must beat the
+// serial variant because the worker executes frames on its goroutine
+// pool instead of one at a time.
+func BenchmarkTCPCoordinator(b *testing.B) {
+	s := benchStore(b)
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, &ShardMachine{Shard: shards[0]})
+	m, err := DialMachine(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	c, err := NewCoordinator(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Query(int32(i % 300)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		var next atomic.Int64
+		b.SetParallelism(4) // 4×GOMAXPROCS client goroutines
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				u := int32(next.Add(1) % 300)
+				if _, err := c.Query(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkTCPCoordinatorLatency is the same comparison with 2ms of
+// injected worker latency — the regime the multiplexed protocol exists
+// for. Serial throughput is capped at 1/latency; the parallel variant
+// overlaps in-flight queries on one connection and lands at a small
+// fraction of that, regardless of host core count.
+func BenchmarkTCPCoordinatorLatency(b *testing.B) {
+	s := benchStore(b)
+	shards, err := core.Split(s, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	const delay = 2 * time.Millisecond
+	go Serve(l, &delayMachine{inner: &ShardMachine{Shard: shards[0]}, delay: delay})
+	m, err := DialMachine(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	c, err := NewCoordinator(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Query(int32(i % 300)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		var next atomic.Int64
+		b.SetParallelism(32)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				u := int32(next.Add(1) % 300)
+				if _, err := c.Query(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+func benchStore(b *testing.B) *core.Store {
+	b.Helper()
+	// Same shape as testStore, rebuilt here because testing.T and
+	// testing.B don't share helpers.
+	s, err := buildStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,8 +15,11 @@ import (
 )
 
 // The TCP wire protocol, deliberately minimal (stdlib only, no RPC
-// framework): every frame is a 1-byte opcode, a 4-byte little-endian
-// length, and the payload.
+// framework). Every frame is a 1-byte opcode, an 8-byte little-endian
+// request id, a 4-byte little-endian length, and the payload. The
+// request id makes the protocol multiplexed: a client may pipeline any
+// number of requests on one connection and the worker answers each with
+// a frame carrying the same id, in whatever order queries finish.
 //
 //	opQuery    coordinator → worker   payload = int32 query node
 //	opQuerySet coordinator → worker   payload = int32 count, count ×
@@ -32,9 +36,12 @@ const (
 
 const maxFrame = 1 << 28 // 256 MiB guard against corrupt lengths
 
-func writeFrame(w io.Writer, op byte, payload []byte) error {
-	hdr := [5]byte{op}
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+const frameHeaderSize = 1 + 8 + 4
+
+func writeFrame(w io.Writer, op byte, id uint64, payload []byte) error {
+	hdr := [frameHeaderSize]byte{op}
+	binary.LittleEndian.PutUint64(hdr[1:], id)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -42,26 +49,43 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) (op byte, payload []byte, err error) {
-	var hdr [5]byte
+func readFrame(r io.Reader) (op byte, id uint64, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[1:])
+	id = binary.LittleEndian.Uint64(hdr[1:])
+	n := binary.LittleEndian.Uint32(hdr[9:])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+		return 0, 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return hdr[0], payload, nil
+	return hdr[0], id, payload, nil
 }
 
-// Serve runs a worker loop over l: each accepted connection handles a
-// stream of query frames against the given machine until EOF. Serve
-// returns when the listener is closed.
-func Serve(l net.Listener, m Machine) error {
+// DefaultMaxInFlight bounds the per-connection worker goroutine pool
+// when Server.MaxInFlight is zero. The bound keeps a misbehaving client
+// from spawning unbounded query goroutines while still allowing deep
+// pipelining (well past the 64 in-flight queries the serving layer is
+// specified to sustain).
+const DefaultMaxInFlight = 256
+
+// Server runs the worker side of the protocol: a stream of multiplexed
+// query frames executed on a bounded goroutine pool, responses written
+// back as they complete.
+type Server struct {
+	Machine Machine
+	// MaxInFlight bounds concurrently executing queries per connection
+	// (0 = DefaultMaxInFlight). Excess requests queue in the reader.
+	MaxInFlight int
+}
+
+// Serve accepts connections on l until the listener is closed, handling
+// each with the bounded concurrent frame loop.
+func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -70,102 +94,92 @@ func Serve(l net.Listener, m Machine) error {
 			}
 			return err
 		}
-		go serveConn(conn, m)
+		go s.serveConn(conn)
 	}
 }
 
-func serveConn(conn net.Conn, m Machine) {
+// Serve runs a worker loop over l with default settings: each accepted
+// connection handles a stream of multiplexed query frames against the
+// given machine until EOF. Serve returns when the listener is closed.
+func Serve(l net.Listener, m Machine) error {
+	return (&Server{Machine: m}).Serve(l)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	limit := s.MaxInFlight
+	if limit <= 0 {
+		limit = DefaultMaxInFlight
+	}
+	sem := make(chan struct{}, limit)
+	var (
+		wmu sync.Mutex // serializes response frames on conn
+		wg  sync.WaitGroup
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer wg.Wait()
+	defer cancel()
 	for {
-		op, payload, err := readFrame(conn)
+		op, id, payload, err := readFrame(conn)
 		if err != nil {
 			return // EOF or broken peer: drop the connection
 		}
-		var share []byte
-		var compute time.Duration
-		switch {
-		case op == opQuery && len(payload) == 4:
-			u := int32(binary.LittleEndian.Uint32(payload))
-			share, compute, err = m.QueryShare(u)
-		case op == opQuerySet:
-			pref, perr := decodePreference(payload)
-			if perr != nil {
-				writeFrame(conn, opError, []byte(perr.Error()))
-				continue
-			}
-			share, compute, err = m.QuerySetShare(pref)
-		default:
-			writeFrame(conn, opError, []byte("bad request"))
+		if op != opQuery && op != opQuerySet {
+			wmu.Lock()
+			writeFrame(conn, opError, id, []byte("bad request"))
+			wmu.Unlock()
 			return
 		}
-		if err != nil {
-			if werr := writeFrame(conn, opError, []byte(err.Error())); werr != nil {
-				return
-			}
-			continue
-		}
-		buf := make([]byte, 8+len(share))
-		binary.LittleEndian.PutUint64(buf, uint64(compute))
-		copy(buf[8:], share)
-		if err := writeFrame(conn, opShare, buf); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(op byte, id uint64, payload []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.handle(ctx, conn, &wmu, op, id, payload)
+		}(op, id, payload)
 	}
 }
 
-// TCPMachine is a Machine backed by a remote worker over one TCP
-// connection. Calls are serialized per connection (the coordinator issues
-// one query per machine per round anyway).
-type TCPMachine struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// DialMachine connects to a worker at addr.
-func DialMachine(addr string) (*TCPMachine, error) {
-	conn, err := net.Dial("tcp", addr)
+// handle executes one query frame and writes the response. Per-query
+// failures (bad node, malformed preference) answer opError and keep the
+// connection streaming; only transport errors tear it down, and then the
+// reader loop notices on its next read.
+func (s *Server) handle(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, id uint64, payload []byte) {
+	var (
+		share   []byte
+		compute time.Duration
+		err     error
+	)
+	switch op {
+	case opQuery:
+		if len(payload) != 4 {
+			err = fmt.Errorf("malformed query frame")
+			break
+		}
+		u := int32(binary.LittleEndian.Uint32(payload))
+		share, compute, err = s.Machine.QueryShare(ctx, u)
+	case opQuerySet:
+		var pref core.Preference
+		if pref, err = decodePreference(payload); err == nil {
+			share, compute, err = s.Machine.QuerySetShare(ctx, pref)
+		}
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	// Bound the write so a client that stops draining responses cannot
+	// pin the worker's handler goroutines behind wmu forever.
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	if err != nil {
-		return nil, err
-	}
-	return &TCPMachine{conn: conn}, nil
-}
-
-// Close shuts the connection down.
-func (t *TCPMachine) Close() error { return t.conn.Close() }
-
-// QueryShare implements Machine over the wire.
-func (t *TCPMachine) QueryShare(u int32) ([]byte, time.Duration, error) {
-	var req [4]byte
-	binary.LittleEndian.PutUint32(req[:], uint32(u))
-	return t.roundTrip(opQuery, req[:])
-}
-
-// QuerySetShare implements Machine for preference sets over the wire.
-func (t *TCPMachine) QuerySetShare(p core.Preference) ([]byte, time.Duration, error) {
-	return t.roundTrip(opQuerySet, encodePreference(p))
-}
-
-func (t *TCPMachine) roundTrip(op byte, req []byte) ([]byte, time.Duration, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := writeFrame(t.conn, op, req); err != nil {
-		return nil, 0, err
-	}
-	rop, payload, err := readFrame(t.conn)
-	if err != nil {
-		return nil, 0, err
-	}
-	switch rop {
-	case opShare:
-		if len(payload) < 8 {
-			return nil, 0, fmt.Errorf("cluster: short share frame")
+		if werr := writeFrame(conn, opError, id, []byte(err.Error())); werr != nil {
+			conn.Close() // a partial frame corrupts the stream for every caller
 		}
-		compute := time.Duration(binary.LittleEndian.Uint64(payload))
-		return payload[8:], compute, nil
-	case opError:
-		return nil, 0, fmt.Errorf("cluster: worker: %s", payload)
-	default:
-		return nil, 0, fmt.Errorf("cluster: unexpected opcode %d", rop)
+		return
+	}
+	buf := make([]byte, 8+len(share))
+	binary.LittleEndian.PutUint64(buf, uint64(compute))
+	copy(buf[8:], share)
+	if werr := writeFrame(conn, opShare, id, buf); werr != nil {
+		conn.Close()
 	}
 }
 
@@ -178,7 +192,7 @@ func encodePreference(p core.Preference) []byte {
 	for i, u := range p.Nodes {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(u))
 		w := 1.0
-		if p.Weights != nil {
+		if i < len(p.Weights) {
 			w = p.Weights[i]
 		}
 		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(w))

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/binary"
 	"net"
 	"testing"
@@ -16,12 +17,12 @@ func TestOversizedFrameRejected(t *testing.T) {
 	defer client.Close()
 	defer server.Close()
 	go func() {
-		var hdr [5]byte
+		var hdr [frameHeaderSize]byte
 		hdr[0] = opQuery
-		binary.LittleEndian.PutUint32(hdr[1:], uint32(maxFrame+1))
+		binary.LittleEndian.PutUint32(hdr[9:], uint32(maxFrame+1))
 		client.Write(hdr[:])
 	}()
-	if _, _, err := readFrame(server); err == nil {
+	if _, _, _, err := readFrame(server); err == nil {
 		t.Fatal("oversized frame must be rejected")
 	}
 }
@@ -43,16 +44,16 @@ func TestWorkerDropsMalformedRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := writeFrame(conn, 99, []byte{1, 2, 3}); err != nil {
+	if err := writeFrame(conn, 99, 7, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	op, _, err := readFrame(conn)
+	op, id, _, err := readFrame(conn)
 	if err != nil {
 		t.Fatalf("expected an error frame, got %v", err)
 	}
-	if op != opError {
-		t.Fatalf("op = %d, want opError", op)
+	if op != opError || id != 7 {
+		t.Fatalf("op = %d id = %d, want opError echoing id 7", op, id)
 	}
 	// The worker then closes; the NEXT worker connection must still work.
 	m, err := DialMachine(l.Addr().String())
@@ -60,7 +61,7 @@ func TestWorkerDropsMalformedRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, _, err := m.QueryShare(1); err != nil {
+	if _, _, err := m.QueryShare(context.Background(), 1); err != nil {
 		t.Fatalf("listener should survive a bad client: %v", err)
 	}
 }
