@@ -78,6 +78,7 @@ func BenchmarkHierarchyBuild(b *testing.B) {
 func BenchmarkGPAQuery(b *testing.B) {
 	f := benchFixture(b)
 	qs := benchQueries(f.g, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.gpa.Query(qs[i%len(qs)]); err != nil {
@@ -89,12 +90,46 @@ func BenchmarkGPAQuery(b *testing.B) {
 func BenchmarkHGPAQuery(b *testing.B) {
 	f := benchFixture(b)
 	qs := benchQueries(f.g, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.store.Query(qs[i%len(qs)]); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQuery is the headline single-node serving fold (HGPA
+// Store.Query), tracked with allocations by the CI bench job; the
+// packed/columnar variants measure what the serving layer actually
+// ships (a sorted share for the wire, a top-k page for the gateway).
+func BenchmarkQuery(b *testing.B) {
+	f := benchFixture(b)
+	qs := benchQueries(f.g, 16)
+	b.Run("vector", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.store.Query(qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.store.QueryPacked(qs[i%len(qs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("topk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.store.QueryTopK(qs[i%len(qs)], 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkHGPAQueryMachines is Figure 10: distributed query runtime as

@@ -60,7 +60,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ppv = stats.Result
+		ppv = stats.Result.Unpack()
 		fmt.Printf("distributed over %d machines: %v wall, %.1f KB received, slowest machine %v\n",
 			*machines, stats.Wall.Round(time.Microsecond),
 			float64(stats.BytesReceived)/1024, stats.MaxMachineTime().Round(time.Microsecond))

@@ -43,8 +43,13 @@ type (
 	Graph = graph.Graph
 	// GraphBuilder accumulates edges for a Graph.
 	GraphBuilder = graph.Builder
-	// Vector is a sparse PPV (node id → score).
+	// Vector is a sparse PPV (node id → score) — the mutable map
+	// representation used for construction and results.
 	Vector = sparse.Vector
+	// Packed is the immutable sorted columnar representation of a sparse
+	// PPV — what stores keep and the wire carries. Convert with
+	// Packed.Unpack and Pack.
+	Packed = sparse.Packed
 	// Entry is one (id, score) element of a Vector.
 	Entry = sparse.Entry
 	// Params are the PPR parameters (teleport α, tolerance ε).
@@ -78,6 +83,10 @@ type (
 
 // DefaultParams returns the paper's defaults: α = 0.15, ε = 1e-4.
 func DefaultParams() Params { return ppr.Defaults() }
+
+// Pack converts a map Vector into its canonical packed (sorted
+// columnar) form.
+func Pack(v Vector) Packed { return sparse.Pack(v) }
 
 // NewGraphBuilder returns a builder for a graph with n nodes.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }

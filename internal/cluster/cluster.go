@@ -51,17 +51,19 @@ type ShardMachine struct {
 }
 
 // QueryShare implements Machine. The share is encoded even in-process so
-// byte accounting matches what a network transport would carry.
+// byte accounting matches what a network transport would carry. The
+// shard's fold drains in packed (sorted) form, so encoding is a straight
+// sequential copy — no map iteration on the worker's hot path.
 func (m *ShardMachine) QueryShare(ctx context.Context, u int32) ([]byte, time.Duration, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
 	start := time.Now()
-	v, err := m.Shard.QueryVector(u)
+	v, err := m.Shard.QueryPacked(u)
 	if err != nil {
 		return nil, 0, err
 	}
-	payload := sparse.Encode(v)
+	payload := sparse.EncodePacked(v)
 	return payload, time.Since(start), nil
 }
 
@@ -71,17 +73,21 @@ func (m *ShardMachine) QuerySetShare(ctx context.Context, p core.Preference) ([]
 		return nil, 0, err
 	}
 	start := time.Now()
-	v, err := m.Shard.QuerySetVector(p)
+	v, err := m.Shard.QuerySetPacked(p)
 	if err != nil {
 		return nil, 0, err
 	}
-	payload := sparse.Encode(v)
+	payload := sparse.EncodePacked(v)
 	return payload, time.Since(start), nil
 }
 
 // QueryStats reports one distributed query.
 type QueryStats struct {
-	Result sparse.Vector
+	// Result is the exact PPV in packed columnar form — the coordinator
+	// produces it by merging the machines' sorted share streams, so no
+	// map is ever built on the serving path. Call Result.Unpack() for a
+	// mutable map Vector.
+	Result sparse.Packed
 	// BytesReceived is the total payload the coordinator received — the
 	// paper's communication-cost metric.
 	BytesReceived int64
@@ -191,7 +197,6 @@ func (c *Coordinator) fanOut(ctx context.Context, call func(context.Context, Mac
 	wg.Wait()
 
 	stats := &QueryStats{
-		Result:      sparse.New(256),
 		MachineTime: make([]time.Duration, len(c.machines)),
 	}
 	// Report the most informative error: a machine failure beats the
@@ -208,15 +213,20 @@ func (c *Coordinator) fanOut(ctx context.Context, call func(context.Context, Mac
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	// "Sum the shares": every payload decodes straight into columnar
+	// form, and the k sorted streams merge in one pass — no maps, no
+	// per-entry hashing, however many machines answered.
+	parts := make([]sparse.Packed, len(c.machines))
 	for i, rp := range replies {
-		v, err := sparse.Decode(rp.payload)
+		v, err := sparse.DecodePacked(rp.payload)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: machine %d payload: %w", i, err)
 		}
 		stats.BytesReceived += int64(len(rp.payload))
 		stats.MachineTime[i] = rp.compute
-		stats.Result.AddScaled(v, 1)
+		parts[i] = v
 	}
+	stats.Result = sparse.MergePacked(parts)
 	stats.Wall = time.Since(start)
 	return stats, nil
 }
@@ -236,22 +246,23 @@ func (c *Coordinator) QuerySequential(u int32) (*QueryStats, error) {
 	start := time.Now()
 	ctx := context.Background()
 	stats := &QueryStats{
-		Result:      sparse.New(256),
 		MachineTime: make([]time.Duration, len(c.machines)),
 	}
+	parts := make([]sparse.Packed, len(c.machines))
 	for i, m := range c.machines {
 		payload, compute, err := m.QueryShare(ctx, u)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
 		}
-		v, err := sparse.Decode(payload)
+		v, err := sparse.DecodePacked(payload)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: machine %d payload: %w", i, err)
 		}
 		stats.BytesReceived += int64(len(payload))
 		stats.MachineTime[i] = compute
-		stats.Result.AddScaled(v, 1)
+		parts[i] = v
 	}
+	stats.Result = sparse.MergePacked(parts)
 	stats.Wall = time.Since(start)
 	return stats, nil
 }

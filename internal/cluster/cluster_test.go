@@ -52,7 +52,7 @@ func TestLocalClusterMatchesCentralQuery(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if d := sparse.LInfDistance(stats.Result, want); d > 1e-12 {
+			if d := sparse.LInfDistance(stats.Result.Unpack(), want); d > 1e-12 {
 				t.Fatalf("n=%d u=%d: distributed ≠ central, L∞ = %v", n, u, d)
 			}
 		}
@@ -147,7 +147,7 @@ func TestTCPCluster(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if d := sparse.LInfDistance(stats.Result, want); d > 1e-12 {
+		if d := sparse.LInfDistance(stats.Result.Unpack(), want); d > 1e-12 {
 			t.Fatalf("u=%d: TCP result L∞ = %v", u, d)
 		}
 		if stats.BytesReceived <= 0 {
@@ -251,7 +251,7 @@ func TestQuerySetDistributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := sparse.LInfDistance(stats.Result, want); d > 1e-12 {
+	if d := sparse.LInfDistance(stats.Result.Unpack(), want); d > 1e-12 {
 		t.Fatalf("local QuerySet L∞ = %v", d)
 	}
 	// Over TCP.
@@ -279,7 +279,7 @@ func TestQuerySetDistributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := sparse.LInfDistance(tstats.Result, want); d > 1e-12 {
+	if d := sparse.LInfDistance(tstats.Result.Unpack(), want); d > 1e-12 {
 		t.Fatalf("TCP QuerySet L∞ = %v", d)
 	}
 	// Invalid preference propagates as a worker error, connection survives.

@@ -210,7 +210,10 @@ func queryErrorStatus(err error) int {
 	}
 }
 
-func topEntries(v sparse.Vector, k int) []entryJSON {
+// topEntries selects the k best entries straight off the packed result
+// (bounded heap, no map materialization) — the per-request cost every
+// ?topk=K query pays.
+func topEntries(v sparse.Packed, k int) []entryJSON {
 	entries := v.TopK(k)
 	out := make([]entryJSON, len(entries))
 	for i, e := range entries {

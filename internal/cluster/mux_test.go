@@ -489,7 +489,7 @@ func TestCoordinatorConcurrentQueries(t *testing.T) {
 					errCh <- err
 					return
 				}
-				if d := sparse.LInfDistance(stats.Result, want); d > 1e-12 {
+				if d := sparse.LInfDistance(stats.Result.Unpack(), want); d > 1e-12 {
 					errCh <- fmt.Errorf("u=%d: concurrent distributed ≠ central, L∞ = %v", u, d)
 					return
 				}

@@ -24,9 +24,15 @@ import (
 //	opQuery    coordinator → worker   payload = int32 query node
 //	opQuerySet coordinator → worker   payload = int32 count, count ×
 //	                                  (int32 node, float64 weight)
-//	opShare    worker → coordinator   payload = sparse-encoded vector +
-//	                                  8-byte compute-time (ns) prefix
+//	opShare    worker → coordinator   payload = sparse-encoded vector in
+//	                                  the canonical (sorted by id) wire
+//	                                  encoding + 8-byte compute-time (ns)
+//	                                  prefix
 //	opError    worker → coordinator   payload = error text
+//
+// Share payloads are canonical: identical shares are byte-identical
+// across repeated encodes, and the coordinator consumes them as sorted
+// streams (see sparse.MergePacked) without rebuilding maps.
 const (
 	opQuery    byte = 1
 	opShare    byte = 2

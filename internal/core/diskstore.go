@@ -31,7 +31,7 @@ type DiskStore struct {
 	idx [3]map[int32]span // hub partials, skeletons, leaf PPVs
 
 	mu    sync.Mutex
-	cache map[cacheKey]sparse.Vector
+	cache map[cacheKey]sparse.Packed
 	// CacheCap bounds the number of cached vectors (default 1024).
 	cacheCap int
 }
@@ -160,7 +160,7 @@ func indexStoreFile(f *os.File) (*DiskStore, error) {
 	}
 	ds := &DiskStore{
 		H: h, Params: params, f: f,
-		cache: make(map[cacheKey]sparse.Vector), cacheCap: 1024,
+		cache: make(map[cacheKey]sparse.Packed), cacheCap: 1024,
 	}
 	for sec := 0; sec < 3; sec++ {
 		var count int32
@@ -211,8 +211,9 @@ func (c *countingReader) skip(n int64) error {
 	return err
 }
 
-// fetch reads (and caches) one vector.
-func (d *DiskStore) fetch(section int8, key int32) (sparse.Vector, error) {
+// fetch reads (and caches) one vector in packed form — decoding a
+// canonical payload into the columnar arrays is a straight copy.
+func (d *DiskStore) fetch(section int8, key int32) (sparse.Packed, error) {
 	ck := cacheKey{section, key}
 	d.mu.Lock()
 	if v, ok := d.cache[ck]; ok {
@@ -223,15 +224,18 @@ func (d *DiskStore) fetch(section int8, key int32) (sparse.Vector, error) {
 
 	sp, ok := d.idx[section][key]
 	if !ok {
-		return nil, fmt.Errorf("core: no vector for section %d key %d", section, key)
+		return sparse.Packed{}, fmt.Errorf("core: no vector for section %d key %d", section, key)
 	}
 	buf := make([]byte, sp.len)
 	if _, err := d.f.ReadAt(buf, sp.off); err != nil {
-		return nil, err
+		return sparse.Packed{}, err
 	}
-	v, err := sparse.Decode(buf)
+	v, err := sparse.DecodePacked(buf)
 	if err != nil {
-		return nil, err
+		return sparse.Packed{}, err
+	}
+	if !v.InRange(d.H.G.NumNodes()) {
+		return sparse.Packed{}, fmt.Errorf("core: vector for section %d key %d has out-of-range node ids (corrupt store?)", section, key)
 	}
 	d.mu.Lock()
 	if len(d.cache) >= d.cacheCap {
@@ -255,7 +259,8 @@ func (d *DiskStore) Query(u int32) (sparse.Vector, error) {
 		return nil, fmt.Errorf("core: query node %d out of range", u)
 	}
 	alpha := d.Params.Alpha
-	r := sparse.New(256)
+	acc := sparse.AcquireAccumulator(d.H.G.NumNodes())
+	defer acc.Release()
 	for _, node := range d.H.Path(u) {
 		for _, h := range node.Hubs {
 			skel, err := d.fetch(secSkeleton, h)
@@ -273,8 +278,8 @@ func (d *DiskStore) Query(u int32) (sparse.Vector, error) {
 			if err != nil {
 				return nil, err
 			}
-			r.AddScaled(partial, su/alpha)
-			r.Add(h, su)
+			acc.AddPacked(partial, su/alpha)
+			acc.Add(h, su)
 		}
 	}
 	if d.H.IsHub(u) {
@@ -282,14 +287,14 @@ func (d *DiskStore) Query(u int32) (sparse.Vector, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.AddScaled(partial, 1)
-		r.Add(u, alpha)
-		return r, nil
+		acc.AddPacked(partial, 1)
+		acc.Add(u, alpha)
+		return acc.Vector(), nil
 	}
 	leaf, err := d.fetch(secLeafPPV, u)
 	if err != nil {
 		return nil, err
 	}
-	r.AddScaled(leaf, 1)
-	return r, nil
+	acc.AddPacked(leaf, 1)
+	return acc.Vector(), nil
 }

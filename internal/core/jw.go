@@ -24,9 +24,10 @@ type JWStore struct {
 
 	// Partial[u] = P_u for hubs (adjusted) and p_u for non-hubs, global
 	// id space. Kept adjusted uniformly: self entry of hub removed.
-	Partial map[int32]sparse.Vector
+	// Packed like the Store sections: written once, folded many times.
+	Partial map[int32]sparse.Packed
 	// Skeleton[h](w) = s_w(h) = r_w(h) for every node w.
-	Skeleton map[int32]sparse.Vector
+	Skeleton map[int32]sparse.Packed
 
 	isHub []bool
 }
@@ -52,8 +53,8 @@ func PrecomputeJW(g *graph.Graph, hubCount int, params ppr.Params, workers int) 
 		G:        g,
 		Params:   params,
 		Hubs:     hubs,
-		Partial:  make(map[int32]sparse.Vector, g.NumNodes()),
-		Skeleton: make(map[int32]sparse.Vector, len(hubs)),
+		Partial:  make(map[int32]sparse.Packed, g.NumNodes()),
+		Skeleton: make(map[int32]sparse.Packed, len(hubs)),
 		isHub:    make([]bool, g.NumNodes()),
 	}
 	for _, h := range hubs {
@@ -85,18 +86,21 @@ func PrecomputeJW(g *graph.Graph, hubCount int, params ppr.Params, workers int) 
 			if s.isHub[u] {
 				delete(partial, u) // store P_u = p_u − α·x_u
 			}
-			var skel sparse.Vector
+			var skel sparse.Packed
+			hasSkel := false
 			if s.isHub[u] {
 				dense, err := ppr.SkeletonForHub(g, u, s.Params)
 				if err != nil {
 					fail(err)
 					continue
 				}
-				skel = sparse.FromDense(dense, 0)
+				skel = sparse.PackedFromDense(dense, 0)
+				hasSkel = true
 			}
+			packed := sparse.Pack(partial)
 			mu.Lock()
-			s.Partial[u] = partial
-			if skel != nil {
+			s.Partial[u] = packed
+			if hasSkel {
 				s.Skeleton[u] = skel
 			}
 			mu.Unlock()
@@ -123,7 +127,8 @@ func (s *JWStore) Query(u int32) (sparse.Vector, error) {
 	if u < 0 || int(u) >= s.G.NumNodes() {
 		return nil, fmt.Errorf("core: query node %d out of range", u)
 	}
-	r := sparse.New(256)
+	acc := sparse.AcquireAccumulator(s.G.NumNodes())
+	defer acc.Release()
 	for _, h := range s.Hubs {
 		su := s.Skeleton[h].Get(u)
 		if h == u {
@@ -132,24 +137,24 @@ func (s *JWStore) Query(u int32) (sparse.Vector, error) {
 		if su == 0 {
 			continue
 		}
-		r.AddScaled(s.Partial[h], su/s.Params.Alpha)
-		r.Add(h, su)
+		acc.AddPacked(s.Partial[h], su/s.Params.Alpha)
+		acc.Add(h, su)
 	}
-	r.AddScaled(s.Partial[u], 1)
+	acc.AddPacked(s.Partial[u], 1)
 	if s.isHub[u] {
-		r.Add(u, s.Params.Alpha) // restore p_u = P_u + α·x_u
+		acc.Add(u, s.Params.Alpha) // restore p_u = P_u + α·x_u
 	}
-	return r, nil
+	return acc.Vector(), nil
 }
 
 // SpaceBytes reports the encoded size of all stored vectors.
 func (s *JWStore) SpaceBytes() int64 {
 	var total int64
 	for _, v := range s.Partial {
-		total += int64(sparse.EncodedSize(v))
+		total += int64(sparse.EncodedSizePacked(v))
 	}
 	for _, v := range s.Skeleton {
-		total += int64(sparse.EncodedSize(v))
+		total += int64(sparse.EncodedSizePacked(v))
 	}
 	return total
 }

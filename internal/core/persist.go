@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"slices"
 
 	"exactppr/internal/graph"
 	"exactppr/internal/hierarchy"
@@ -61,12 +62,19 @@ func Save(w io.Writer, s *Store) error {
 			writeI32(v)
 		}
 	}
-	for _, section := range []map[int32]sparse.Vector{s.HubPartial, s.Skeleton, s.LeafPPV} {
+	for _, section := range []map[int32]sparse.Packed{s.HubPartial, s.Skeleton, s.LeafPPV} {
 		writeI32(int32(len(section)))
-		// Deterministic order is not required for correctness; iterate as-is.
-		for key, vec := range section {
+		// Keys are written sorted so saving the same store twice yields
+		// byte-identical files; the packed vectors themselves are
+		// already in canonical order and serialize with a straight copy.
+		keys := make([]int32, 0, len(section))
+		for key := range section {
+			keys = append(keys, key)
+		}
+		slices.Sort(keys)
+		for _, key := range keys {
 			writeI32(key)
-			enc := sparse.Encode(vec)
+			enc := sparse.EncodePacked(section[key])
 			writeI32(int32(len(enc)))
 			if _, err := bw.Write(enc); err != nil {
 				return err
@@ -191,7 +199,7 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{H: h, Params: params}
-	sections := []*map[int32]sparse.Vector{&s.HubPartial, &s.Skeleton, &s.LeafPPV}
+	sections := []*map[int32]sparse.Packed{&s.HubPartial, &s.Skeleton, &s.LeafPPV}
 	for _, section := range sections {
 		count, err := readI32()
 		if err != nil {
@@ -200,7 +208,7 @@ func Load(r io.Reader) (*Store, error) {
 		if count < 0 {
 			return nil, fmt.Errorf("core: corrupt section count %d", count)
 		}
-		mp := make(map[int32]sparse.Vector, count)
+		mp := make(map[int32]sparse.Packed, count)
 		for i := int32(0); i < count; i++ {
 			key, err := readI32()
 			if err != nil {
@@ -217,9 +225,15 @@ func Load(r io.Reader) (*Store, error) {
 			if _, err := io.ReadFull(br, buf); err != nil {
 				return nil, err
 			}
-			vec, err := sparse.Decode(buf)
+			// DecodePacked reads canonical payloads with one sequential
+			// pass and still accepts store files written before
+			// canonical ordering (it sorts those on load).
+			vec, err := sparse.DecodePacked(buf)
 			if err != nil {
 				return nil, err
+			}
+			if !vec.InRange(g.NumNodes()) {
+				return nil, fmt.Errorf("core: vector for key %d has node ids outside [0,%d) (corrupt store?)", key, g.NumNodes())
 			}
 			mp[key] = vec
 		}

@@ -93,14 +93,14 @@ func TestQuickStoreMassBounds(t *testing.T) {
 		// matrix: entries ≥ 0 and total mass ≤ 1. Skeleton[h] is a
 		// COLUMN — one entry per source node — so only the per-entry
 		// bound applies.
-		checkRow := func(kind string, m map[int32]sparse.Vector) {
+		checkRow := func(kind string, m map[int32]sparse.Packed) {
 			for key, v := range m {
 				var sum float64
-				for id, x := range v {
-					if x < -1e-12 {
-						t.Fatalf("%s[%d]: negative entry at %d", kind, key, id)
+				for _, e := range v.Entries() {
+					if e.Score < -1e-12 {
+						t.Fatalf("%s[%d]: negative entry at %d", kind, key, e.ID)
 					}
-					sum += x
+					sum += e.Score
 				}
 				if sum > 1+1e-6 {
 					t.Fatalf("%s[%d]: mass %v > 1", kind, key, sum)
@@ -110,9 +110,9 @@ func TestQuickStoreMassBounds(t *testing.T) {
 		checkRow("HubPartial", s.HubPartial)
 		checkRow("LeafPPV", s.LeafPPV)
 		for key, v := range s.Skeleton {
-			for id, x := range v {
-				if x < -1e-12 || x > 1+1e-9 {
-					t.Fatalf("Skeleton[%d]: entry %v at %d out of [0,1]", key, x, id)
+			for _, e := range v.Entries() {
+				if e.Score < -1e-12 || e.Score > 1+1e-9 {
+					t.Fatalf("Skeleton[%d]: entry %v at %d out of [0,1]", key, e.Score, e.ID)
 				}
 			}
 		}

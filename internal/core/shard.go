@@ -59,26 +59,47 @@ func Split(s *Store, n int) ([]*Shard, error) {
 // Algorithm 1 of the paper (with the skeleton hub-entry term included so
 // the shares stay exact; see the package comment).
 func (sh *Shard) QueryVector(u int32) (sparse.Vector, error) {
+	acc := sparse.AcquireAccumulator(sh.store.H.G.NumNodes())
+	defer acc.Release()
+	if err := sh.queryInto(acc, u, 1); err != nil {
+		return nil, err
+	}
+	return acc.Vector(), nil
+}
+
+// QueryPacked is QueryVector draining into the columnar representation.
+// This is what workers ship: the sorted arrays encode straight into the
+// canonical wire format with no map iteration.
+func (sh *Shard) QueryPacked(u int32) (sparse.Packed, error) {
+	acc := sparse.AcquireAccumulator(sh.store.H.G.NumNodes())
+	defer acc.Release()
+	if err := sh.queryInto(acc, u, 1); err != nil {
+		return sparse.Packed{}, err
+	}
+	return acc.Packed(), nil
+}
+
+// queryInto folds w times this shard's share of u's PPV into acc.
+func (sh *Shard) queryInto(acc *sparse.Accumulator, u int32, w float64) error {
 	s := sh.store
 	if u < 0 || int(u) >= s.H.G.NumNodes() {
-		return nil, fmt.Errorf("core: query node %d out of range", u)
+		return fmt.Errorf("core: query node %d out of range", u)
 	}
-	r := sparse.New(64)
 	for _, node := range s.H.Path(u) {
 		for _, h := range sh.hubsByNode[node.ID] {
-			s.addHubContribution(r, u, h)
+			s.addHubContribution(acc, u, h, w)
 		}
 	}
 	// The final term belongs to whoever stores it: the owner of u's leaf
 	// vector, or of u's hub partial when u is a hub.
 	if s.H.IsHub(u) {
 		if sh.ownsHub(u) {
-			s.addFinalTerm(r, u)
+			s.addFinalTerm(acc, u, w)
 		}
 	} else if sh.leaves[u] {
-		s.addFinalTerm(r, u)
+		s.addFinalTerm(acc, u, w)
 	}
-	return r, nil
+	return nil
 }
 
 func (sh *Shard) ownsHub(h int32) bool {
@@ -139,12 +160,12 @@ func (sh *Shard) SpaceBytes() int64 {
 	s := sh.store
 	for _, hs := range sh.hubsByNode {
 		for _, h := range hs {
-			total += int64(sparse.EncodedSize(s.HubPartial[h]))
-			total += int64(sparse.EncodedSize(s.Skeleton[h]))
+			total += int64(sparse.EncodedSizePacked(s.HubPartial[h]))
+			total += int64(sparse.EncodedSizePacked(s.Skeleton[h]))
 		}
 	}
 	for u := range sh.leaves {
-		total += int64(sparse.EncodedSize(s.LeafPPV[u]))
+		total += int64(sparse.EncodedSizePacked(s.LeafPPV[u]))
 	}
 	return total
 }

@@ -48,14 +48,17 @@ type Store struct {
 
 	// HubPartial[h] is the ADJUSTED partial vector P_h = p_h − α·x_h of
 	// hub h, computed within h's home subgraph w.r.t. that subgraph's hub
-	// set, in global id space.
-	HubPartial map[int32]sparse.Vector
+	// set, in global id space. Stored packed (sorted columnar): the
+	// vectors are write-once at pre-computation and then only folded,
+	// so the flat representation keeps the query path cache-friendly
+	// and allocation-free.
+	HubPartial map[int32]sparse.Packed
 	// Skeleton[h](w) = s_w(h): the local PPV value at hub h for every
 	// source w in h's home subgraph, in global id space.
-	Skeleton map[int32]sparse.Vector
+	Skeleton map[int32]sparse.Packed
 	// LeafPPV[u] is the local PPV of non-hub node u w.r.t. its leaf-level
 	// virtual subgraph, in global id space.
-	LeafPPV map[int32]sparse.Vector
+	LeafPPV map[int32]sparse.Packed
 }
 
 // PrecomputeInfo reports the cost of a pre-computation run. Because the
@@ -92,9 +95,9 @@ func PrecomputeWithInfo(h *hierarchy.Hierarchy, params ppr.Params, workers int) 
 	s := &Store{
 		H:          h,
 		Params:     params,
-		HubPartial: make(map[int32]sparse.Vector),
-		Skeleton:   make(map[int32]sparse.Vector),
-		LeafPPV:    make(map[int32]sparse.Vector),
+		HubPartial: make(map[int32]sparse.Packed),
+		Skeleton:   make(map[int32]sparse.Packed),
+		LeafPPV:    make(map[int32]sparse.Packed),
 	}
 
 	type task struct {
@@ -177,26 +180,34 @@ func (s *Store) precomputeHub(n *hierarchy.Node, hub int32) error {
 	if err != nil {
 		return fmt.Errorf("core: partial of hub %d: %w", hub, err)
 	}
-	adjusted := sparse.New(partial.Len())
+	adjusted := make([]sparse.Entry, 0, partial.Len())
 	for lid, x := range partial {
 		if lid == lh {
 			continue // the α·x_h adjustment removes the zero-length tour
 		}
-		adjusted.Set(n.Sub.Parent(lid), x)
+		adjusted = append(adjusted, sparse.Entry{ID: n.Sub.Parent(lid), Score: x})
+	}
+	adjustedP, err := sparse.PackEntries(adjusted)
+	if err != nil {
+		return fmt.Errorf("core: partial of hub %d: %w", hub, err)
 	}
 	sk, err := ppr.SkeletonForHub(g, lh, s.Params)
 	if err != nil {
 		return fmt.Errorf("core: skeleton of hub %d: %w", hub, err)
 	}
-	skel := sparse.New(64)
+	skel := make([]sparse.Entry, 0, 64)
 	for lid, x := range sk {
-		if x != 0 && int(lid) < n.Sub.Len() {
-			skel.Set(n.Sub.Parent(int32(lid)), x)
+		if x != 0 && lid < n.Sub.Len() {
+			skel = append(skel, sparse.Entry{ID: n.Sub.Parent(int32(lid)), Score: x})
 		}
 	}
+	skelP, err := sparse.PackEntries(skel)
+	if err != nil {
+		return fmt.Errorf("core: skeleton of hub %d: %w", hub, err)
+	}
 	storeMu.Lock()
-	s.HubPartial[hub] = adjusted
-	s.Skeleton[hub] = skel
+	s.HubPartial[hub] = adjustedP
+	s.Skeleton[hub] = skelP
 	storeMu.Unlock()
 	return nil
 }
@@ -207,35 +218,63 @@ func (s *Store) precomputeLeaf(n *hierarchy.Node, u int32) error {
 	if err != nil {
 		return fmt.Errorf("core: leaf PPV of %d: %w", u, err)
 	}
-	global := sparse.New(local.Len())
+	global := make([]sparse.Entry, 0, local.Len())
 	for lid, x := range local {
-		global.Set(n.Sub.Parent(lid), x)
+		global = append(global, sparse.Entry{ID: n.Sub.Parent(lid), Score: x})
+	}
+	globalP, err := sparse.PackEntries(global)
+	if err != nil {
+		return fmt.Errorf("core: leaf PPV of %d: %w", u, err)
 	}
 	storeMu.Lock()
-	s.LeafPPV[u] = global
+	s.LeafPPV[u] = globalP
 	storeMu.Unlock()
 	return nil
 }
 
 // Query constructs the exact PPV of u centrally (HGPA on one machine,
-// §6.2.9). See the package comment for the identity used.
+// §6.2.9). See the package comment for the identity used. The fold runs
+// through a pooled dense accumulator — no per-entry hashing, no
+// intermediate maps — and drains once into the map Vector the public
+// API promises.
 func (s *Store) Query(u int32) (sparse.Vector, error) {
-	if u < 0 || int(u) >= s.H.G.NumNodes() {
-		return nil, fmt.Errorf("core: query node %d out of range", u)
+	acc := sparse.AcquireAccumulator(s.H.G.NumNodes())
+	defer acc.Release()
+	if err := s.queryInto(acc, u, 1); err != nil {
+		return nil, err
 	}
-	r := sparse.New(256)
-	for _, node := range s.H.Path(u) {
-		for _, h := range node.Hubs {
-			s.addHubContribution(r, u, h)
-		}
-	}
-	s.addFinalTerm(r, u)
-	return r, nil
+	return acc.Vector(), nil
 }
 
-// addHubContribution folds hub h's term into r for query node u:
-// (S_u(h)/α)·P_h plus the direct skeleton entry S_u(h) at h.
-func (s *Store) addHubContribution(r sparse.Vector, u, h int32) {
+// QueryPacked is Query draining into the columnar representation —
+// the form the serving layer encodes straight onto the wire.
+func (s *Store) QueryPacked(u int32) (sparse.Packed, error) {
+	acc := sparse.AcquireAccumulator(s.H.G.NumNodes())
+	defer acc.Release()
+	if err := s.queryInto(acc, u, 1); err != nil {
+		return sparse.Packed{}, err
+	}
+	return acc.Packed(), nil
+}
+
+// queryInto folds w times the exact PPV of u into acc — the shared core
+// of Query, QueryPacked, QueryTopK, and the weighted QuerySet fold.
+func (s *Store) queryInto(acc *sparse.Accumulator, u int32, w float64) error {
+	if u < 0 || int(u) >= s.H.G.NumNodes() {
+		return fmt.Errorf("core: query node %d out of range", u)
+	}
+	for _, node := range s.H.Path(u) {
+		for _, h := range node.Hubs {
+			s.addHubContribution(acc, u, h, w)
+		}
+	}
+	s.addFinalTerm(acc, u, w)
+	return nil
+}
+
+// addHubContribution folds w times hub h's term into acc for query node
+// u: (S_u(h)/α)·P_h plus the direct skeleton entry S_u(h) at h.
+func (s *Store) addHubContribution(acc *sparse.Accumulator, u, h int32, w float64) {
 	su := s.Skeleton[h].Get(u)
 	if h == u {
 		su -= s.Params.Alpha // S_u(h) = s_u(h) − α·f_u(h)
@@ -243,19 +282,19 @@ func (s *Store) addHubContribution(r sparse.Vector, u, h int32) {
 	if su == 0 {
 		return
 	}
-	r.AddScaled(s.HubPartial[h], su/s.Params.Alpha)
-	r.Add(h, su)
+	acc.AddPacked(s.HubPartial[h], w*su/s.Params.Alpha)
+	acc.Add(h, w*su)
 }
 
 // addFinalTerm adds the recursion's base case: the leaf-level local PPV
 // for a non-hub query, or the hub's own partial vector p_u = P_u + α·x_u.
-func (s *Store) addFinalTerm(r sparse.Vector, u int32) {
+func (s *Store) addFinalTerm(acc *sparse.Accumulator, u int32, w float64) {
 	if s.H.IsHub(u) {
-		r.AddScaled(s.HubPartial[u], 1)
-		r.Add(u, s.Params.Alpha)
+		acc.AddPacked(s.HubPartial[u], w)
+		acc.Add(u, w*s.Params.Alpha)
 		return
 	}
-	r.AddScaled(s.LeafPPV[u], 1)
+	acc.AddPacked(s.LeafPPV[u], w)
 }
 
 // Truncate removes every stored entry with absolute value below min,
@@ -263,36 +302,40 @@ func (s *Store) addFinalTerm(r sparse.Vector, u int32) {
 // It returns the number of entries dropped.
 func (s *Store) Truncate(min float64) int {
 	dropped := 0
-	for _, m := range []map[int32]sparse.Vector{s.HubPartial, s.Skeleton, s.LeafPPV} {
-		for _, v := range m {
-			for id, x := range v {
-				if x < min && x > -min {
-					delete(v, id)
-					dropped++
-				}
+	for _, m := range []map[int32]sparse.Packed{s.HubPartial, s.Skeleton, s.LeafPPV} {
+		for key, v := range m {
+			t, d := v.Truncated(min)
+			if d > 0 {
+				m[key] = t
+				dropped += d
 			}
 		}
 	}
 	return dropped
 }
 
-// Clone deep-copies the store (useful before Truncate).
+// Clone copies the store's section maps (useful before Truncate); the
+// immutable packed vectors themselves are shared, so this is cheap even
+// for large pre-computations.
 func (s *Store) Clone() *Store {
 	c := &Store{
 		H:          s.H,
 		Params:     s.Params,
-		HubPartial: make(map[int32]sparse.Vector, len(s.HubPartial)),
-		Skeleton:   make(map[int32]sparse.Vector, len(s.Skeleton)),
-		LeafPPV:    make(map[int32]sparse.Vector, len(s.LeafPPV)),
+		HubPartial: make(map[int32]sparse.Packed, len(s.HubPartial)),
+		Skeleton:   make(map[int32]sparse.Packed, len(s.Skeleton)),
+		LeafPPV:    make(map[int32]sparse.Packed, len(s.LeafPPV)),
 	}
+	// The packed vectors are immutable (Truncate swaps in new values, it
+	// never edits arrays in place), so the clone shares them: only the
+	// maps are fresh.
 	for k, v := range s.HubPartial {
-		c.HubPartial[k] = v.Clone()
+		c.HubPartial[k] = v
 	}
 	for k, v := range s.Skeleton {
-		c.Skeleton[k] = v.Clone()
+		c.Skeleton[k] = v
 	}
 	for k, v := range s.LeafPPV {
-		c.LeafPPV[k] = v.Clone()
+		c.LeafPPV[k] = v
 	}
 	return c
 }
@@ -301,9 +344,9 @@ func (s *Store) Clone() *Store {
 // metric of §6.2.2/§6.2.4.
 func (s *Store) SpaceBytes() int64 {
 	var total int64
-	for _, m := range []map[int32]sparse.Vector{s.HubPartial, s.Skeleton, s.LeafPPV} {
+	for _, m := range []map[int32]sparse.Packed{s.HubPartial, s.Skeleton, s.LeafPPV} {
 		for _, v := range m {
-			total += int64(sparse.EncodedSize(v))
+			total += int64(sparse.EncodedSizePacked(v))
 		}
 	}
 	return total

@@ -36,9 +36,11 @@ type Index struct {
 	Params ppr.Params
 	Hubs   []int32
 
-	// Prime[h] = p_h: the hub-free PPV contribution of hub h.
-	Prime map[int32]sparse.Vector
-	// Blocked[h](h') = walk mass from h frozen at hub h'.
+	// Prime[h] = p_h: the hub-free PPV contribution of hub h, packed at
+	// build time — the scheduler only ever folds it.
+	Prime map[int32]sparse.Packed
+	// Blocked[h](h') = walk mass from h frozen at hub h'. Kept as a map:
+	// the scheduler drains it entry-wise into its priority queue.
 	Blocked map[int32]sparse.Vector
 
 	isHub []bool
@@ -64,7 +66,7 @@ func BuildIndex(g *graph.Graph, hubCount int, params ppr.Params, workers int) (*
 		G:       g,
 		Params:  params,
 		Hubs:    hubs,
-		Prime:   make(map[int32]sparse.Vector, hubCount),
+		Prime:   make(map[int32]sparse.Packed, hubCount),
 		Blocked: make(map[int32]sparse.Vector, hubCount),
 		isHub:   make([]bool, g.NumNodes()),
 	}
@@ -80,7 +82,7 @@ func BuildIndex(g *graph.Graph, hubCount int, params ppr.Params, workers int) (*
 	worker := func() {
 		defer wg.Done()
 		for h := range ch {
-			prime, blocked, err := ppr.PartialVector(g, h, ix.isHub, ix.Params)
+			prime, blocked, err := ppr.PartialVectorPacked(g, h, ix.isHub, ix.Params)
 			mu.Lock()
 			if err != nil {
 				if firstErr == nil {
@@ -147,11 +149,13 @@ func (ix *Index) Query(u int32, budget int) (*QueryStats, error) {
 	if u < 0 || int(u) >= ix.G.NumNodes() {
 		return nil, fmt.Errorf("fastppv: query %d out of range", u)
 	}
-	pu, blockedU, err := ppr.PartialVector(ix.G, u, ix.isHub, ix.Params)
+	pu, blockedU, err := ppr.PartialVectorPacked(ix.G, u, ix.isHub, ix.Params)
 	if err != nil {
 		return nil, err
 	}
-	r := pu.Clone()
+	acc := sparse.AcquireAccumulator(ix.G.NumNodes())
+	defer acc.Release()
+	acc.AddPacked(pu, 1)
 	pq := &pending{mass: make(map[int32]float64)}
 	for h, m := range blockedU {
 		pq.mass[h] = m
@@ -177,7 +181,7 @@ func (ix *Index) Query(u int32, budget int) (*QueryStats, error) {
 			break
 		}
 		stats.Expansions++
-		r.AddScaled(ix.Prime[h], m)
+		acc.AddPacked(ix.Prime[h], m)
 		for h2, bm := range ix.Blocked[h] {
 			add := m * bm
 			if _, ok := pq.mass[h2]; ok {
@@ -192,7 +196,7 @@ func (ix *Index) Query(u int32, budget int) (*QueryStats, error) {
 	for _, m := range pq.mass {
 		stats.DiscardedMass += m
 	}
-	stats.Result = r
+	stats.Result = acc.Vector()
 	return stats, nil
 }
 
@@ -200,7 +204,7 @@ func (ix *Index) Query(u int32, budget int) (*QueryStats, error) {
 func (ix *Index) SpaceBytes() int64 {
 	var total int64
 	for _, v := range ix.Prime {
-		total += int64(sparse.EncodedSize(v))
+		total += int64(sparse.EncodedSizePacked(v))
 	}
 	for _, v := range ix.Blocked {
 		total += int64(sparse.EncodedSize(v))

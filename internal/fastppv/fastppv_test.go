@@ -159,7 +159,7 @@ func TestHeapScheduling(t *testing.T) {
 	hubs := []int32{1, 3}
 	ix := &Index{
 		G: g, Params: p, Hubs: hubs,
-		Prime:   map[int32]sparse.Vector{1: {1: p.Alpha}, 3: {3: p.Alpha}},
+		Prime:   map[int32]sparse.Packed{1: sparse.Pack(sparse.Vector{1: p.Alpha}), 3: sparse.Pack(sparse.Vector{3: p.Alpha})},
 		Blocked: map[int32]sparse.Vector{1: {}, 3: {}},
 		isHub:   []bool{false, true, false, true},
 	}

@@ -174,6 +174,29 @@ func PowerIterationSet(g *graph.Graph, pref []int32, p Params) (sparse.Vector, e
 // hub set, in which case the result is the full local PPV of u — exactly
 // the "leaf level" vectors HGPA stores (§4.4).
 func PartialVector(g *graph.Graph, u int32, isHub []bool, p Params) (partial, hubBlocked sparse.Vector, err error) {
+	d, blocked, err := partialVectorDense(g, u, isHub, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sparse.FromDense(d, 0), sparse.FromDense(blocked, 0), nil
+}
+
+// PartialVectorPacked is PartialVector emitting the partial vector in
+// packed columnar form straight from the truncation step — the shape
+// pre-computation stores and query folds consume. The blocked-mass
+// vector stays a map: its consumers mutate and drain it (the FastPPV
+// scheduler's priority queue).
+func PartialVectorPacked(g *graph.Graph, u int32, isHub []bool, p Params) (partial sparse.Packed, hubBlocked sparse.Vector, err error) {
+	d, blocked, err := partialVectorDense(g, u, isHub, p)
+	if err != nil {
+		return sparse.Packed{}, nil, err
+	}
+	return sparse.PackedFromDense(d, 0), sparse.FromDense(blocked, 0), nil
+}
+
+// partialVectorDense is the selective-expansion kernel shared by both
+// emitters, producing dense lower-approximation and blocked-mass slices.
+func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params) (dense, blockedMass []float64, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -236,9 +259,7 @@ func PartialVector(g *graph.Graph, u int32, isHub []bool, p Params) (partial, hu
 		d[v] += p.Alpha * mass // tours ending here
 		expand(v, mass)
 	}
-	partial = sparse.FromDense(d, 0)
-	hubBlocked = sparse.FromDense(blocked, 0)
-	return partial, hubBlocked, nil
+	return d, blocked, nil
 }
 
 // SkeletonForHub computes s_·(h) — the PPV value AT hub h for every source

@@ -1,11 +1,26 @@
-// Package sparse provides the sparse floating-point vector type used for
-// PPVs, partial vectors, and hubs skeleton vectors throughout the module.
+// Package sparse provides the sparse floating-point vector types used
+// for PPVs, partial vectors, and hubs skeleton vectors throughout the
+// module. All of the pre-computed state in GPA/HGPA is sparse by
+// construction (Jeh–Widom tolerance truncation keeps only entries above
+// a threshold); three representations cover its lifecycle:
 //
-// Vectors are maps from node id to score. All of the pre-computed state in
-// GPA/HGPA is sparse by construction (Jeh–Widom tolerance truncation keeps
-// only entries above a threshold), so a hash-map representation wins over a
-// dense slice everywhere except inside the innermost power-iteration loops,
-// which use their own dense scratch buffers.
+//   - Vector (map[int32]float64) is the MUTABLE representation: random
+//     inserts and deletes in O(1). Use it while constructing or editing
+//     a vector, and as the application-facing result type — the public
+//     API keeps returning it.
+//   - Packed ([]int32 ids + []float64 scores, sorted by id) is the
+//     IMMUTABLE hot-path representation: pre-computed vectors are
+//     packed once and then only read. Sequential folds stream through
+//     two flat arrays instead of chasing map buckets, point lookups are
+//     binary search, and the sorted layout serializes directly into the
+//     canonical wire encoding with no sorting or map iteration.
+//   - Accumulator (dense scratch + touched list, pooled) is the
+//     QUERY-TIME fold buffer: "sum the shares" becomes O(1) array adds
+//     with zero per-entry allocation, then drains once into a Packed or
+//     Vector. Acquire one per query, Release it after.
+//
+// Rule of thumb: build with Vector, store and ship as Packed, fold with
+// an Accumulator.
 package sparse
 
 import (
@@ -221,23 +236,15 @@ func (v Vector) Entries() []Entry {
 	return es
 }
 
-// TopK returns the k highest-scoring entries, ties broken by smaller id.
-// If k exceeds the number of entries, all entries are returned.
+// TopK returns the k highest-scoring entries, ties broken by smaller id,
+// in O(n log k) with a bounded min-heap. If k exceeds the number of
+// entries, all entries are returned.
 func (v Vector) TopK(k int) []Entry {
-	es := make([]Entry, 0, len(v))
+	sel := newTopKSelector(k)
 	for i, x := range v {
-		es = append(es, Entry{i, x})
+		sel.offer(i, x)
 	}
-	sort.Slice(es, func(a, b int) bool {
-		if es[a].Score != es[b].Score {
-			return es[a].Score > es[b].Score
-		}
-		return es[a].ID < es[b].ID
-	})
-	if k < len(es) {
-		es = es[:k]
-	}
-	return es
+	return sel.take()
 }
 
 // String renders up to 8 entries, for debugging.
