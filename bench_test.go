@@ -441,6 +441,59 @@ func BenchmarkMonteCarlo(b *testing.B) {
 }
 
 // BenchmarkQuerySet measures preference-set queries (PPV linearity).
+// BenchmarkApplyUpdates measures incremental update throughput: each
+// iteration applies one edge-insert batch and then the reverting delete
+// batch, so the store ends each iteration where it started (after a
+// one-time warm-up that settles any hub promotions). The dedicated
+// fixture keeps the mutation away from the shared read-only one. The
+// custom metric reports how many store vectors one batch recomputes —
+// the quantity a full rebuild would multiply to the whole store.
+func BenchmarkApplyUpdates(b *testing.B) {
+	g, err := gen.Dataset("web", benchScale, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1}, benchParams, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := core.NewLiveStore(store)
+	// A fixed batch of edges absent from the generated graph.
+	var ins [][2]int32
+	n := int32(g.NumNodes())
+	for u := int32(0); len(ins) < 8 && u < n; u += 13 {
+		v := (u + n/2) % n
+		if u != v && !g.HasEdge(u, v) {
+			ins = append(ins, [2]int32{u, v})
+		}
+	}
+	warm := func() (int, error) {
+		a, err := live.ApplyUpdates(graph.Delta{Insert: ins}, 0)
+		if err != nil {
+			return 0, err
+		}
+		d, err := live.ApplyUpdates(graph.Delta{Delete: ins}, 0)
+		if err != nil {
+			return 0, err
+		}
+		return a.Recomputed + d.Recomputed, nil
+	}
+	if _, err := warm(); err != nil { // settle promotions before timing
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var recomputed int64
+	for i := 0; i < b.N; i++ {
+		r, err := warm()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recomputed += int64(r)
+	}
+	b.ReportMetric(float64(recomputed)/float64(2*b.N), "vectors/batch")
+	b.ReportMetric(float64(live.Store().Stats().Hubs*2+live.Store().Stats().Leaves), "vectors/store")
+}
+
 func BenchmarkQuerySet(b *testing.B) {
 	f := benchFixture(b)
 	pref := core.Preference{Nodes: benchQueries(f.g, 3)}

@@ -6,6 +6,10 @@
 //
 //	pprserve -store web.store -shard 0 -of 3 -listen :7001
 //
+// Add -updates to accept edge-delta batches (UPDATE frames from a
+// coordinator, POST /edges through a gateway): each batch recomputes
+// only the dirty partitions and swaps the serving snapshot atomically.
+//
 // Coordinator mode — query workers once and print the result:
 //
 //	pprserve -coordinator -workers host1:7001,host2:7002,host3:7003 -node 42
@@ -50,6 +54,7 @@ func main() {
 		topk        = flag.Int("topk", 10, "entries to print (coordinator one-shot mode)")
 		httpAddr    = flag.String("http", "", "serve the HTTP/JSON gateway on this address")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (gateway mode)")
+		updates     = flag.Bool("updates", false, "accept edge-delta updates (worker / local gateway mode)")
 	)
 	flag.Parse()
 
@@ -70,31 +75,54 @@ func main() {
 
 	if *httpAddr != "" {
 		// Local gateway: shard the store across in-process machines and
-		// serve HTTP directly — no TCP workers needed on one host.
-		coord, err := cluster.NewLocalCluster(store, *of)
-		if err != nil {
-			fatal(err)
+		// serve HTTP directly — no TCP workers needed on one host. With
+		// -updates the machines share one live store and POST /edges
+		// applies dirty-partition batches to it.
+		var backend cluster.Querier
+		if *updates {
+			live, err := cluster.NewLiveLocalCluster(store, *of)
+			if err != nil {
+				fatal(err)
+			}
+			backend = live
+		} else {
+			coord, err := cluster.NewLocalCluster(store, *of)
+			if err != nil {
+				fatal(err)
+			}
+			backend = coord
 		}
-		fmt.Fprintf(os.Stderr, "gateway: %d in-process shards\n", *of)
-		runGateway(*httpAddr, coord, *timeout)
+		fmt.Fprintf(os.Stderr, "gateway: %d in-process shards (updates=%v)\n", *of, *updates)
+		runGateway(*httpAddr, backend, *timeout)
 		return
 	}
 
-	shards, err := core.Split(store, *of)
-	if err != nil {
-		fatal(err)
-	}
-	if *shard < 0 || *shard >= len(shards) {
-		fatal(fmt.Errorf("shard %d out of range [0,%d)", *shard, len(shards)))
-	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	sh := shards[*shard]
-	fmt.Fprintf(os.Stderr, "worker: shard %d/%d (%d hubs, %d leaves, %.2f MB) listening on %s\n",
-		*shard, *of, sh.HubCount(), sh.LeafCount(), float64(sh.SpaceBytes())/(1<<20), l.Addr())
-	srv := &cluster.Server{Machine: &cluster.ShardMachine{Shard: sh}, MaxInFlight: *inFlight}
+	if *shard < 0 || *shard >= *of {
+		fatal(fmt.Errorf("shard %d out of range [0,%d)", *shard, *of))
+	}
+	srv := &cluster.Server{MaxInFlight: *inFlight}
+	var sh *core.Shard
+	if *updates {
+		live, err := cluster.NewLiveShard(core.NewLiveStore(store), *shard, *of)
+		if err != nil {
+			fatal(err)
+		}
+		srv.Machine, srv.Updater = live, live
+		sh = live.Shard()
+	} else {
+		shards, err := core.Split(store, *of)
+		if err != nil {
+			fatal(err)
+		}
+		sh = shards[*shard]
+		srv.Machine = &cluster.ShardMachine{Shard: sh}
+	}
+	fmt.Fprintf(os.Stderr, "worker: shard %d/%d (%d hubs, %d leaves, %.2f MB, updates=%v) listening on %s\n",
+		*shard, *of, sh.HubCount(), sh.LeafCount(), float64(sh.SpaceBytes())/(1<<20), *updates, l.Addr())
 	if err := srv.Serve(l); err != nil {
 		fatal(err)
 	}
@@ -132,11 +160,15 @@ func runQuery(coord *cluster.Coordinator, node int32, topk int) {
 	}
 }
 
-func runGateway(addr string, coord *cluster.Coordinator, timeout time.Duration) {
-	g := cluster.NewGateway(coord)
+func runGateway(addr string, backend cluster.Querier, timeout time.Duration) {
+	g := cluster.NewGateway(backend)
 	g.Timeout = timeout
+	machines := 0
+	if c, ok := backend.(interface{ NumMachines() int }); ok {
+		machines = c.NumMachines()
+	}
 	fmt.Fprintf(os.Stderr, "gateway: serving HTTP on %s (%d machines, %v timeout)\n",
-		addr, coord.NumMachines(), timeout)
+		addr, machines, timeout)
 	if err := http.ListenAndServe(addr, g.Handler()); err != nil {
 		fatal(err)
 	}

@@ -39,10 +39,14 @@ import (
 // Re-exported types. Aliases keep the public surface in one import path
 // while the implementation lives in focused internal packages.
 type (
-	// Graph is an immutable directed graph in CSR form.
+	// Graph is a directed graph in CSR form. It is immutable except
+	// through batched edge deltas (Graph.ApplyDelta / Store.ApplyUpdates).
 	Graph = graph.Graph
 	// GraphBuilder accumulates edges for a Graph.
 	GraphBuilder = graph.Builder
+	// Delta is a batch of edge insertions/deletions — the unit of
+	// incremental maintenance.
+	Delta = graph.Delta
 	// Vector is a sparse PPV (node id → score) — the mutable map
 	// representation used for construction and results.
 	Vector = sparse.Vector
@@ -60,6 +64,12 @@ type (
 	Hierarchy = hierarchy.Hierarchy
 	// Store is the HGPA pre-computation plus exact query construction.
 	Store = core.Store
+	// LiveStore publishes a Store behind an atomic pointer and applies
+	// edge-delta batches with dirty-partition recomputation; queries
+	// keep serving the previous snapshot while a batch lands.
+	LiveStore = core.LiveStore
+	// UpdateInfo reports the cost of one incremental update batch.
+	UpdateInfo = core.UpdateInfo
 	// Shard is one machine's slice of a Store.
 	Shard = core.Shard
 	// Coordinator fans queries out to machines and sums the shares.
@@ -123,10 +133,23 @@ func BuildGPA(g *Graph, m int, params Params, workers int, seed int64) (*Store, 
 // load balancing).
 func Split(s *Store, n int) ([]*Shard, error) { return core.Split(s, n) }
 
+// NewLiveStore wraps a store for incremental maintenance: ApplyUpdates
+// applies an edge-delta batch (recomputing only the dirty partitions of
+// the hierarchy) and atomically publishes the new snapshot.
+func NewLiveStore(s *Store) *LiveStore { return core.NewLiveStore(s) }
+
 // NewLocalCluster shards a store across n in-process machines behind a
 // coordinator.
 func NewLocalCluster(s *Store, n int) (*Coordinator, error) {
 	return cluster.NewLocalCluster(s, n)
+}
+
+// NewLiveLocalCluster is NewLocalCluster over an updatable store: the
+// machines share one LiveStore and the returned cluster's ApplyUpdates
+// applies each batch exactly once (it also backs the gateway's
+// POST /edges in single-host mode).
+func NewLiveLocalCluster(s *Store, n int) (*cluster.LiveLocalCluster, error) {
+	return cluster.NewLiveLocalCluster(s, n)
 }
 
 // NewCoordinator wires a coordinator over explicit machines (e.g. TCP

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"exactppr/internal/core"
+	"exactppr/internal/graph"
 	"exactppr/internal/sparse"
 )
 
@@ -43,6 +44,27 @@ type Machine interface {
 	// QuerySetShare is the preference-set variant (PPV linearity, §2):
 	// the machine's share of the weighted-set PPV, still one vector.
 	QuerySetShare(ctx context.Context, p core.Preference) (payload []byte, compute time.Duration, err error)
+}
+
+// Updater applies edge-delta batches to a machine's live store.
+// Machines are free not to implement it (a read-only worker); the
+// coordinator refuses to start an update unless every machine does.
+type Updater interface {
+	// ApplyUpdates applies one batch atomically w.r.t. this machine's
+	// queries: every query share is computed against either the
+	// pre-batch or the post-batch snapshot, never a mix.
+	ApplyUpdates(ctx context.Context, d graph.Delta) (UpdateStats, error)
+}
+
+// UpdateStats reports one applied edge-delta batch.
+type UpdateStats struct {
+	// Inserted/Deleted are the edge operations that changed the graph.
+	Inserted, Deleted int64
+	// Recomputed is the number of store vectors recomputed — the
+	// dirty-partition work a full rebuild would have multiplied.
+	Recomputed int64
+	// Wall is the end-to-end batch time observed by the caller.
+	Wall time.Duration
 }
 
 // ShardMachine is an in-process Machine over a core.Shard.
@@ -130,6 +152,28 @@ func NewCoordinator(machines ...Machine) (*Coordinator, error) {
 
 // NumMachines returns the cluster size.
 func (c *Coordinator) NumMachines() int { return len(c.machines) }
+
+// SupportsUpdates reports whether every machine accepts edge-delta
+// batches — the condition ApplyUpdates enforces. The gateway uses it to
+// answer 501 for read-only clusters instead of tearing one mid-fan-out.
+// Machines exposing their own probe (TCP transports send a no-op delta
+// so the answer reflects the remote worker's -updates configuration,
+// not just the client stub's method set) are asked; for in-process
+// machines the interface check is exact.
+func (c *Coordinator) SupportsUpdates() bool {
+	for _, m := range c.machines {
+		if probe, ok := m.(interface{ SupportsUpdates() bool }); ok {
+			if !probe.SupportsUpdates() {
+				return false
+			}
+			continue
+		}
+		if _, ok := m.(Updater); !ok {
+			return false
+		}
+	}
+	return true
+}
 
 // Query runs one exact PPV query: one request to each machine, one vector
 // back from each, summed locally. Machines are called concurrently.
@@ -229,6 +273,61 @@ func (c *Coordinator) fanOut(ctx context.Context, call func(context.Context, Mac
 	stats.Result = sparse.MergePacked(parts)
 	stats.Wall = time.Since(start)
 	return stats, nil
+}
+
+// ApplyUpdates fans an edge-delta batch out to every machine, which
+// applies it to its own copy of the store (workers each hold the full
+// pre-computation and serve one shard slice of it). All machines must
+// implement Updater or the call is refused before anything is sent.
+//
+// Consistency: each machine swaps in its post-batch snapshot
+// atomically, but the swaps are not coordinated across machines — a
+// query overlapping ApplyUpdates may sum pre-batch shares from one
+// machine with post-batch shares from another. Callers needing
+// cross-machine batch atomicity must quiesce queries around the call;
+// updates applied while no queries overlap are always exact. A partial
+// failure is reported as an error and may leave machines on different
+// batches — retry the batch (deltas are effective-filtered, so replays
+// are idempotent) or rebuild.
+func (c *Coordinator) ApplyUpdates(ctx context.Context, d graph.Delta) (UpdateStats, error) {
+	start := time.Now()
+	updaters := make([]Updater, len(c.machines))
+	for i, m := range c.machines {
+		u, ok := m.(Updater)
+		if !ok {
+			return UpdateStats{}, fmt.Errorf("cluster: machine %d does not support updates", i)
+		}
+		updaters[i] = u
+	}
+	type reply struct {
+		stats UpdateStats
+		err   error
+	}
+	replies := make([]reply, len(updaters))
+	var wg sync.WaitGroup
+	wg.Add(len(updaters))
+	for i, u := range updaters {
+		go func(i int, u Updater) {
+			defer wg.Done()
+			stats, err := u.ApplyUpdates(ctx, d)
+			replies[i] = reply{stats, err}
+		}(i, u)
+	}
+	wg.Wait()
+	var out UpdateStats
+	for i, rp := range replies {
+		if rp.err != nil {
+			return UpdateStats{}, fmt.Errorf("cluster: machine %d update: %w (cluster may be torn — retry the batch)", i, rp.err)
+		}
+		if i == 0 {
+			out = rp.stats
+		} else if rp.stats.Recomputed != out.Recomputed {
+			return UpdateStats{}, fmt.Errorf("cluster: machines disagree on recompute (%d vs %d) — replicas have diverged",
+				out.Recomputed, rp.stats.Recomputed)
+		}
+	}
+	out.Wall = time.Since(start)
+	return out, nil
 }
 
 func isCancel(err error) bool {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"exactppr/internal/core"
+	"exactppr/internal/graph"
 	"exactppr/internal/sparse"
 )
 
@@ -30,6 +31,8 @@ type Querier interface {
 //	GET  /ppv/{node}?topk=K   one PPV query, top-K entries
 //	POST /ppv                 batch: many sources fanned out concurrently,
 //	                          or one weighted preference-set query
+//	POST /edges               edge-delta batch applied to the live store
+//	                          (requires an Updater backend, else 501)
 //	GET  /healthz             liveness + uptime
 //	GET  /stats               serving counters (queries, errors, bytes, …)
 //
@@ -52,6 +55,7 @@ type Gateway struct {
 	start    time.Time
 	queries  atomic.Int64 // single-source queries answered OK
 	batches  atomic.Int64 // batch requests answered
+	updates  atomic.Int64 // edge-delta batches applied OK
 	errors   atomic.Int64 // queries that failed
 	inFlight atomic.Int64
 	bytes    atomic.Int64 // cluster payload bytes behind HTTP answers
@@ -111,6 +115,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /ppv/{node}", g.handleSingle)
 	mux.HandleFunc("POST /ppv", g.handleBatch)
+	mux.HandleFunc("POST /edges", g.handleEdges)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /stats", g.handleStats)
 	return mux
@@ -194,15 +199,23 @@ func (g *Gateway) runSet(parent context.Context, p core.Preference, k int) (resu
 	return resultJSON{TopK: topEntries(stats.Result, k), WallNs: int64(stats.Wall), Bytes: stats.BytesReceived}, nil
 }
 
+// statusClientClosedRequest is nginx's conventional status for "the
+// client went away before we could answer" — there is no stdlib
+// constant. It is what a cancelled request context maps to.
+const statusClientClosedRequest = 499
+
 // queryErrorStatus maps a failed backend query to an HTTP status: a
-// deadline is the gateway timing out (504), an out-of-range node is the
-// client asking for something that does not exist (404 — matched on the
-// error text because worker errors cross the wire as strings), anything
-// else is a broken or unhappy cluster behind the gateway (502).
+// deadline is the gateway timing out (504), a cancellation is the
+// client hanging up (499), an out-of-range node is the client asking
+// for something that does not exist (404 — matched on the error text
+// because worker errors cross the wire as strings), anything else is a
+// broken or unhappy cluster behind the gateway (502).
 func queryErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	case strings.Contains(err.Error(), "out of range"):
 		return http.StatusNotFound
 	default:
@@ -294,8 +307,12 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Fan the sources out concurrently; a bounded worker group keeps one
 	// huge batch from monopolizing the cluster. Per-source failures are
-	// reported in place so one bad node does not sink its batch-mates.
+	// reported in place — each failed result carries its error string —
+	// so one bad node does not sink its batch-mates, and the top-level
+	// failed/partial fields let clients notice without scanning every
+	// result.
 	results := make([]resultJSON, len(req.Nodes))
+	var failed atomic.Int64
 	sem := make(chan struct{}, g.batchWorkers())
 	var wg sync.WaitGroup
 	for i, u := range req.Nodes {
@@ -304,13 +321,94 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(i int, u int32) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], _ = g.runSingle(r.Context(), u, k)
+			var err error
+			results[i], err = g.runSingle(r.Context(), u, k)
+			if err != nil {
+				failed.Add(1)
+			}
 		}(i, u)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, struct {
-		Results []resultJSON `json:"results"`
-	}{results})
+	// A batch cut short because the REQUEST died (client hung up, or a
+	// server-level deadline) is not a success: its zeroed/failed results
+	// would be indistinguishable from empty PPVs under a 200. Map the
+	// request-context error exactly like a single query's.
+	status := http.StatusOK
+	if ctxErr := r.Context().Err(); ctxErr != nil {
+		status = queryErrorStatus(ctxErr)
+	}
+	writeJSON(w, status, batchResponse{
+		Results: results,
+		Failed:  int(failed.Load()),
+		Partial: failed.Load() > 0,
+	})
+}
+
+// batchResponse is the POST /ppv answer for fanned-out batches. Partial
+// is true when at least one (but not necessarily every) result failed;
+// failed results carry their error in place.
+type batchResponse struct {
+	Results []resultJSON `json:"results"`
+	Failed  int          `json:"failed,omitempty"`
+	Partial bool         `json:"partial,omitempty"`
+}
+
+// updateRequest is the POST /edges body: edge pairs to insert/delete as
+// one atomic batch.
+type updateRequest struct {
+	Insert [][2]int32 `json:"insert,omitempty"`
+	Delete [][2]int32 `json:"delete,omitempty"`
+}
+
+// maxUpdateBytes bounds the POST /edges body (~170k edge operations) —
+// larger graph loads belong in the offline build pipeline, not a
+// serving-path update batch.
+const maxUpdateBytes = 4 << 20
+
+func (g *Gateway) handleEdges(w http.ResponseWriter, r *http.Request) {
+	backend, ok := g.backend.(Updater)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "backend does not support updates")
+		return
+	}
+	if probe, ok := g.backend.(interface{ SupportsUpdates() bool }); ok && !probe.SupportsUpdates() {
+		httpError(w, http.StatusNotImplemented, "cluster has read-only machines — restart workers with -updates")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxUpdateBytes)
+	var req updateRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes — split the batch", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	d := graph.Delta{Insert: req.Insert, Delete: req.Delete}
+	if d.Len() == 0 {
+		httpError(w, http.StatusBadRequest, "empty delta")
+		return
+	}
+	stats, err := backend.ApplyUpdates(r.Context(), d)
+	if err != nil {
+		if strings.Contains(err.Error(), "out of range") {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		g.errors.Add(1)
+		httpError(w, queryErrorStatus(err), err.Error())
+		return
+	}
+	g.updates.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"inserted":   stats.Inserted,
+		"deleted":    stats.Deleted,
+		"recomputed": stats.Recomputed,
+		"wall_ns":    stats.Wall.Nanoseconds(),
+	})
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -334,6 +432,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":        ok,
 		"batches":        g.batches.Load(),
+		"updates":        g.updates.Load(),
 		"errors":         g.errors.Load(),
 		"in_flight":      g.inFlight.Load(),
 		"bytes_received": g.bytes.Load(),

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"exactppr/internal/core"
+	"exactppr/internal/graph"
 )
 
 // ErrMachineClosed reports a call on a TCPMachine whose connection has
@@ -126,6 +127,34 @@ func (t *TCPMachine) QueryShare(ctx context.Context, u int32) ([]byte, time.Dura
 	return t.call(ctx, opQuery, req[:])
 }
 
+// ApplyUpdates implements Updater over the wire: the delta batch rides
+// the same multiplexed connection as queries (opUpdate frame), so a
+// long recompute on the worker never blocks pipelined query traffic.
+func (t *TCPMachine) ApplyUpdates(ctx context.Context, d graph.Delta) (UpdateStats, error) {
+	start := time.Now()
+	ack, _, err := t.call(ctx, opUpdate, encodeDelta(d))
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	stats, err := decodeUpdateStats(ack)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+// SupportsUpdates probes the remote worker with an empty delta batch —
+// a no-op on an update-enabled worker, a clean "updates not enabled"
+// error otherwise. Unlike the interface check (every TCPMachine has the
+// method), this reflects the worker's actual -updates configuration.
+func (t *TCPMachine) SupportsUpdates() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), dialTimeout)
+	defer cancel()
+	_, err := t.ApplyUpdates(ctx, graph.Delta{})
+	return err == nil
+}
+
 // QuerySetShare implements Machine for preference sets over the wire.
 func (t *TCPMachine) QuerySetShare(ctx context.Context, p core.Preference) ([]byte, time.Duration, error) {
 	// Mirror the in-process validation (core.Preference.normalized) so
@@ -204,6 +233,8 @@ func decodeReply(r muxReply) ([]byte, time.Duration, error) {
 		}
 		compute := time.Duration(binary.LittleEndian.Uint64(r.payload))
 		return r.payload[8:], compute, nil
+	case opUpdateAck:
+		return r.payload, 0, nil
 	case opError:
 		return nil, 0, fmt.Errorf("cluster: worker: %s", r.payload)
 	default:
@@ -338,6 +369,29 @@ func (p *Pool) QuerySetShare(ctx context.Context, pref core.Preference) ([]byte,
 		return nil, 0, err
 	}
 	return m.QuerySetShare(ctx, pref)
+}
+
+// ApplyUpdates implements Updater: the batch is sent on one connection —
+// the worker process behind every pooled connection is the same, so one
+// delivery updates them all.
+func (p *Pool) ApplyUpdates(ctx context.Context, d graph.Delta) (UpdateStats, error) {
+	m, err := p.pick(ctx)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	return m.ApplyUpdates(ctx, d)
+}
+
+// SupportsUpdates probes the worker behind the pool; see
+// TCPMachine.SupportsUpdates.
+func (p *Pool) SupportsUpdates() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), dialTimeout)
+	defer cancel()
+	m, err := p.pick(ctx)
+	if err != nil {
+		return false
+	}
+	return m.SupportsUpdates()
 }
 
 // Close closes every connection in the pool and stops re-dialing.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"exactppr/internal/core"
+	"exactppr/internal/graph"
 )
 
 // The TCP wire protocol, deliberately minimal (stdlib only, no RPC
@@ -21,23 +22,32 @@ import (
 // number of requests on one connection and the worker answers each with
 // a frame carrying the same id, in whatever order queries finish.
 //
-//	opQuery    coordinator → worker   payload = int32 query node
-//	opQuerySet coordinator → worker   payload = int32 count, count ×
-//	                                  (int32 node, float64 weight)
-//	opShare    worker → coordinator   payload = sparse-encoded vector in
-//	                                  the canonical (sorted by id) wire
-//	                                  encoding + 8-byte compute-time (ns)
-//	                                  prefix
-//	opError    worker → coordinator   payload = error text
+//	opQuery     coordinator → worker   payload = int32 query node
+//	opQuerySet  coordinator → worker   payload = int32 count, count ×
+//	                                   (int32 node, float64 weight)
+//	opShare     worker → coordinator   payload = sparse-encoded vector in
+//	                                   the canonical (sorted by id) wire
+//	                                   encoding + 8-byte compute-time (ns)
+//	                                   prefix
+//	opError     worker → coordinator   payload = error text
+//	opUpdate    coordinator → worker   payload = edge-delta batch:
+//	                                   uint32 insert count, count ×
+//	                                   (int32 u, int32 v), then the same
+//	                                   for deletes
+//	opUpdateAck worker → coordinator   payload = 3 × uint64: edges
+//	                                   inserted, edges deleted, vectors
+//	                                   recomputed
 //
 // Share payloads are canonical: identical shares are byte-identical
 // across repeated encodes, and the coordinator consumes them as sorted
 // streams (see sparse.MergePacked) without rebuilding maps.
 const (
-	opQuery    byte = 1
-	opShare    byte = 2
-	opError    byte = 3
-	opQuerySet byte = 4
+	opQuery     byte = 1
+	opShare     byte = 2
+	opError     byte = 3
+	opQuerySet  byte = 4
+	opUpdate    byte = 5
+	opUpdateAck byte = 6
 )
 
 const maxFrame = 1 << 28 // 256 MiB guard against corrupt lengths
@@ -84,6 +94,10 @@ const DefaultMaxInFlight = 256
 // back as they complete.
 type Server struct {
 	Machine Machine
+	// Updater, when non-nil, enables opUpdate frames: edge-delta batches
+	// applied to the worker's live store. A worker without an Updater
+	// answers update frames with opError and keeps serving queries.
+	Updater Updater
 	// MaxInFlight bounds concurrently executing queries per connection
 	// (0 = DefaultMaxInFlight). Excess requests queue in the reader.
 	MaxInFlight int
@@ -130,7 +144,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken peer: drop the connection
 		}
-		if op != opQuery && op != opQuerySet {
+		if op != opQuery && op != opQuerySet && op != opUpdate {
 			wmu.Lock()
 			writeFrame(conn, opError, id, []byte("bad request"))
 			wmu.Unlock()
@@ -152,6 +166,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // reader loop notices on its next read.
 func (s *Server) handle(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op byte, id uint64, payload []byte) {
 	var (
+		respOp  byte = opShare
+		resp    []byte
 		share   []byte
 		compute time.Duration
 		err     error
@@ -169,6 +185,14 @@ func (s *Server) handle(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op 
 		if pref, err = decodePreference(payload); err == nil {
 			share, compute, err = s.Machine.QuerySetShare(ctx, pref)
 		}
+	case opUpdate:
+		respOp = opUpdateAck
+		resp, err = s.handleUpdate(ctx, payload)
+	}
+	if respOp == opShare && err == nil {
+		resp = make([]byte, 8+len(share))
+		binary.LittleEndian.PutUint64(resp, uint64(compute))
+		copy(resp[8:], share)
 	}
 	wmu.Lock()
 	defer wmu.Unlock()
@@ -181,12 +205,26 @@ func (s *Server) handle(ctx context.Context, conn net.Conn, wmu *sync.Mutex, op 
 		}
 		return
 	}
-	buf := make([]byte, 8+len(share))
-	binary.LittleEndian.PutUint64(buf, uint64(compute))
-	copy(buf[8:], share)
-	if werr := writeFrame(conn, opShare, id, buf); werr != nil {
+	if werr := writeFrame(conn, respOp, id, resp); werr != nil {
 		conn.Close()
 	}
+}
+
+// handleUpdate decodes and applies one edge-delta batch, answering the
+// ack payload.
+func (s *Server) handleUpdate(ctx context.Context, payload []byte) ([]byte, error) {
+	if s.Updater == nil {
+		return nil, fmt.Errorf("updates not enabled on this worker")
+	}
+	d, err := decodeDelta(payload)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := s.Updater.ApplyUpdates(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return encodeUpdateStats(stats), nil
 }
 
 // encodePreference serializes a preference set for opQuerySet. Uniform
@@ -205,6 +243,72 @@ func encodePreference(p core.Preference) []byte {
 		off += 12
 	}
 	return buf
+}
+
+// encodeDelta serializes an edge-delta batch for opUpdate.
+func encodeDelta(d graph.Delta) []byte {
+	buf := make([]byte, 8+8*(len(d.Insert)+len(d.Delete)))
+	off := 0
+	for _, edges := range [][][2]int32{d.Insert, d.Delete} {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(edges)))
+		off += 4
+		for _, e := range edges {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(e[0]))
+			binary.LittleEndian.PutUint32(buf[off+4:], uint32(e[1]))
+			off += 8
+		}
+	}
+	return buf
+}
+
+func decodeDelta(buf []byte) (graph.Delta, error) {
+	var d graph.Delta
+	off := 0
+	for i := 0; i < 2; i++ {
+		if len(buf) < off+4 {
+			return graph.Delta{}, fmt.Errorf("cluster: short delta frame")
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if n < 0 || len(buf) < off+8*n {
+			return graph.Delta{}, fmt.Errorf("cluster: delta frame length mismatch")
+		}
+		edges := make([][2]int32, n)
+		for j := range edges {
+			edges[j][0] = int32(binary.LittleEndian.Uint32(buf[off:]))
+			edges[j][1] = int32(binary.LittleEndian.Uint32(buf[off+4:]))
+			off += 8
+		}
+		if i == 0 {
+			d.Insert = edges
+		} else {
+			d.Delete = edges
+		}
+	}
+	if off != len(buf) {
+		return graph.Delta{}, fmt.Errorf("cluster: trailing bytes in delta frame")
+	}
+	return d, nil
+}
+
+// encodeUpdateStats serializes the opUpdateAck payload.
+func encodeUpdateStats(s UpdateStats) []byte {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint64(buf, uint64(s.Inserted))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(s.Deleted))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(s.Recomputed))
+	return buf
+}
+
+func decodeUpdateStats(buf []byte) (UpdateStats, error) {
+	if len(buf) != 24 {
+		return UpdateStats{}, fmt.Errorf("cluster: malformed update ack")
+	}
+	return UpdateStats{
+		Inserted:   int64(binary.LittleEndian.Uint64(buf)),
+		Deleted:    int64(binary.LittleEndian.Uint64(buf[8:])),
+		Recomputed: int64(binary.LittleEndian.Uint64(buf[16:])),
+	}, nil
 }
 
 func decodePreference(buf []byte) (core.Preference, error) {

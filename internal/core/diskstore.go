@@ -30,11 +30,21 @@ type DiskStore struct {
 	f   *os.File
 	idx [3]map[int32]span // hub partials, skeletons, leaf PPVs
 
+	// fmu guards the file's lifecycle: fetch reads hold it shared across
+	// ReadAt so Close can never yank the descriptor out from under an
+	// in-flight read; Close takes it exclusively, which also makes Close
+	// wait for those reads to drain.
+	fmu    sync.RWMutex
+	closed bool
+
 	mu    sync.Mutex
 	cache map[cacheKey]sparse.Packed
 	// CacheCap bounds the number of cached vectors (default 1024).
 	cacheCap int
 }
+
+// ErrStoreClosed reports a query against a DiskStore after Close.
+var ErrStoreClosed = fmt.Errorf("core: disk store is closed")
 
 type span struct {
 	off int64
@@ -68,8 +78,18 @@ func OpenDiskStore(path string) (*DiskStore, error) {
 	return ds, nil
 }
 
-// Close releases the underlying file.
-func (d *DiskStore) Close() error { return d.f.Close() }
+// Close releases the underlying file. It blocks until in-flight reads
+// drain; queries issued afterwards fail with ErrStoreClosed instead of
+// hitting a closed *os.File. Close is idempotent.
+func (d *DiskStore) Close() error {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}
 
 // SetCacheCap bounds the in-memory vector cache (minimum 1).
 func (d *DiskStore) SetCacheCap(n int) {
@@ -227,7 +247,14 @@ func (d *DiskStore) fetch(section int8, key int32) (sparse.Packed, error) {
 		return sparse.Packed{}, fmt.Errorf("core: no vector for section %d key %d", section, key)
 	}
 	buf := make([]byte, sp.len)
-	if _, err := d.f.ReadAt(buf, sp.off); err != nil {
+	d.fmu.RLock()
+	if d.closed {
+		d.fmu.RUnlock()
+		return sparse.Packed{}, ErrStoreClosed
+	}
+	_, err := d.f.ReadAt(buf, sp.off)
+	d.fmu.RUnlock()
+	if err != nil {
 		return sparse.Packed{}, err
 	}
 	v, err := sparse.DecodePacked(buf)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -123,4 +124,56 @@ func TestDiskStoreRejectsGarbageFile(t *testing.T) {
 
 func writeFileHelper(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
+}
+
+// TestDiskStoreCloseTyped: queries after Close fail with ErrStoreClosed
+// (not a raw *os.File error), and Close is idempotent.
+func TestDiskStoreCloseTyped(t *testing.T) {
+	_, ds := diskStoreFixture(t)
+	ds.SetCacheCap(1) // make sure queries must hit the file
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	_, err := ds.Query(0)
+	if !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("post-close Query error = %v, want ErrStoreClosed", err)
+	}
+}
+
+// TestDiskStoreCloseRace: Close landing in the middle of a storm of
+// concurrent queries must never surface an os-level "file already
+// closed" error — in-flight reads drain, later ones get ErrStoreClosed.
+// Run under -race in CI.
+func TestDiskStoreCloseRace(t *testing.T) {
+	s, ds := diskStoreFixture(t)
+	ds.SetCacheCap(1) // force every fetch through ReadAt
+	n := int32(s.H.G.NumNodes())
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			<-start
+			for i := int32(0); i < 200; i++ {
+				_, err := ds.Query((seed*31 + i) % n)
+				if err != nil && !errors.Is(err, ErrStoreClosed) {
+					errCh <- err
+					return
+				}
+			}
+		}(int32(w))
+	}
+	close(start)
+	ds.Close()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("query during Close: %v", err)
+	default:
+	}
 }

@@ -33,7 +33,16 @@ import (
 var storeMagic = [8]byte{'E', 'X', 'P', 'P', 'R', 'S', 'T', '1'}
 
 // Save writes the store to w.
+//
+// Incrementally updated stores (graph epoch > 0) are rejected: the file
+// format rebuilds the hierarchy deterministically from (graph, options),
+// which cannot reproduce an update-maintained tree — its hub promotions
+// are a function of the delta history, not of the final graph. Rebuild
+// with BuildHGPA/Precompute on the updated graph before saving.
 func Save(w io.Writer, s *Store) error {
+	if s.H.G.Epoch() != 0 {
+		return fmt.Errorf("core: cannot save an incrementally updated store (graph epoch %d): rebuild from the updated graph first", s.H.G.Epoch())
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(storeMagic[:]); err != nil {
 		return err

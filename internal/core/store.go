@@ -100,42 +100,81 @@ func PrecomputeWithInfo(h *hierarchy.Hierarchy, params ppr.Params, workers int) 
 		LeafPPV:    make(map[int32]sparse.Packed),
 	}
 
-	type task struct {
-		node *hierarchy.Node
-		u    int32 // global id
-		hub  bool
-	}
-	var tasks []task
+	var tasks []precomputeTask
 	for _, n := range h.Nodes() {
-		for _, hub := range n.Hubs {
-			tasks = append(tasks, task{n, hub, true})
-		}
-		if n.IsLeaf() {
-			for _, m := range n.Members {
-				if !h.IsHub(m) {
-					tasks = append(tasks, task{n, m, false})
-				}
-			}
-		}
+		tasks = append(tasks, nodeTasks(h, n)...)
 		n.Sub.G.BuildReverse() // safe to pre-build; used by skeletons
 	}
+	taskTime, err := s.runTasks(tasks, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &PrecomputeInfo{
+		Wall:          time.Since(start),
+		TotalTaskTime: taskTime,
+		Tasks:         len(tasks),
+	}
+	return s, info, nil
+}
 
+// precomputeTask is one vector-producing unit of work: a hub's
+// partial+skeleton pair, or one leaf PPV.
+type precomputeTask struct {
+	node *hierarchy.Node
+	u    int32 // global id
+	hub  bool
+}
+
+// Vectors returns how many store vectors the task produces.
+func (t precomputeTask) Vectors() int {
+	if t.hub {
+		return 2 // adjusted partial + skeleton
+	}
+	return 1
+}
+
+// nodeTasks lists the tasks local to one tree node: its hubs, and — for
+// leaves — the PPVs of its non-hub members. This is the unit the
+// incremental updater re-runs per dirty node.
+func nodeTasks(h *hierarchy.Hierarchy, n *hierarchy.Node) []precomputeTask {
+	var tasks []precomputeTask
+	for _, hub := range n.Hubs {
+		tasks = append(tasks, precomputeTask{n, hub, true})
+	}
+	if n.IsLeaf() {
+		for _, m := range n.Members {
+			if !h.IsHub(m) {
+				tasks = append(tasks, precomputeTask{n, m, false})
+			}
+		}
+	}
+	return tasks
+}
+
+// runTasks executes independent pre-computation tasks on a bounded
+// worker pool, each worker reusing one ppr.Scratch across its tasks.
+// It returns the summed task compute time.
+func (s *Store) runTasks(tasks []precomputeTask, workers int) (time.Duration, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var (
 		mu        sync.Mutex
 		firstErr  error
 		wg        sync.WaitGroup
-		ch        = make(chan task)
+		ch        = make(chan precomputeTask)
 		taskNanos atomic.Int64
 	)
 	worker := func() {
 		defer wg.Done()
+		sc := &ppr.Scratch{} // dense buffers reused across this worker's tasks
 		for t := range ch {
 			t0 := time.Now()
 			var err error
 			if t.hub {
-				err = s.precomputeHub(t.node, t.u)
+				err = s.precomputeHub(t.node, t.u, sc)
 			} else {
-				err = s.precomputeLeaf(t.node, t.u)
+				err = s.precomputeLeaf(t.node, t.u, sc)
 			}
 			taskNanos.Add(int64(time.Since(t0)))
 			if err != nil {
@@ -156,42 +195,36 @@ func PrecomputeWithInfo(h *hierarchy.Hierarchy, params ppr.Params, workers int) 
 	}
 	close(ch)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-	info := &PrecomputeInfo{
-		Wall:          time.Since(start),
-		TotalTaskTime: time.Duration(taskNanos.Load()),
-		Tasks:         len(tasks),
-	}
-	return s, info, nil
+	return time.Duration(taskNanos.Load()), firstErr
 }
 
 var storeMu sync.Mutex // guards Store maps during parallel precompute
 
-func (s *Store) precomputeHub(n *hierarchy.Node, hub int32) error {
+func (s *Store) precomputeHub(n *hierarchy.Node, hub int32, sc *ppr.Scratch) error {
 	g := n.Sub.G
 	lh := n.Sub.Local(hub)
 	isHub := make([]bool, g.NumNodes())
 	for _, x := range n.Hubs {
 		isHub[n.Sub.Local(x)] = true
 	}
-	partial, _, err := ppr.PartialVector(g, lh, isHub, s.Params)
+	partial, err := sc.PartialVectorPacked(g, lh, isHub, s.Params)
 	if err != nil {
 		return fmt.Errorf("core: partial of hub %d: %w", hub, err)
 	}
 	adjusted := make([]sparse.Entry, 0, partial.Len())
-	for lid, x := range partial {
+	partial.ForEach(func(lid int32, x float64) {
 		if lid == lh {
-			continue // the α·x_h adjustment removes the zero-length tour
+			return // the α·x_h adjustment removes the zero-length tour
 		}
 		adjusted = append(adjusted, sparse.Entry{ID: n.Sub.Parent(lid), Score: x})
-	}
+	})
 	adjustedP, err := sparse.PackEntries(adjusted)
 	if err != nil {
 		return fmt.Errorf("core: partial of hub %d: %w", hub, err)
 	}
-	sk, err := ppr.SkeletonForHub(g, lh, s.Params)
+	// The skeleton's dense result aliases the scratch; it is drained into
+	// entries before the scratch's next task.
+	sk, err := sc.SkeletonForHub(g, lh, s.Params)
 	if err != nil {
 		return fmt.Errorf("core: skeleton of hub %d: %w", hub, err)
 	}
@@ -212,16 +245,16 @@ func (s *Store) precomputeHub(n *hierarchy.Node, hub int32) error {
 	return nil
 }
 
-func (s *Store) precomputeLeaf(n *hierarchy.Node, u int32) error {
+func (s *Store) precomputeLeaf(n *hierarchy.Node, u int32, sc *ppr.Scratch) error {
 	g := n.Sub.G
-	local, _, err := ppr.PartialVector(g, n.Sub.Local(u), nil, s.Params)
+	local, err := sc.PartialVectorPacked(g, n.Sub.Local(u), nil, s.Params)
 	if err != nil {
 		return fmt.Errorf("core: leaf PPV of %d: %w", u, err)
 	}
 	global := make([]sparse.Entry, 0, local.Len())
-	for lid, x := range local {
+	local.ForEach(func(lid int32, x float64) {
 		global = append(global, sparse.Entry{ID: n.Sub.Parent(lid), Score: x})
-	}
+	})
 	globalP, err := sparse.PackEntries(global)
 	if err != nil {
 		return fmt.Errorf("core: leaf PPV of %d: %w", u, err)

@@ -22,17 +22,31 @@ import (
 // retained out-edges; the missing probability mass flows to the virtual
 // sink and dies there (tours that leave the subgraph never return).
 type Graph struct {
+	n       int     // node count; fixed for the life of the graph
 	offsets []int32 // len N+1; out-edges of u are adj[offsets[u]:offsets[u+1]]
 	adj     []int32
-	inOnce  sync.Once
-	inOff   []int32 // reverse CSR, built lazily by Reverse-dependent calls
-	inAdj   []int32
 	outW    []int32 // transition denominator per node (see doc above)
 	virtual int32   // id of the virtual sink, or -1 when the graph has none
+
+	// The reverse adjacency is built lazily and invalidated by ApplyDelta:
+	// epoch counts edge-batch applications, inEpoch records the epoch the
+	// reverse arrays were built at. sync.Once cannot express "valid until
+	// the next mutation", so the cache is epoch-aware instead.
+	epoch   uint64
+	inMu    sync.Mutex
+	inEpoch uint64
+	inOff   []int32
+	inAdj   []int32
 }
 
-// NumNodes returns N, including the virtual sink when present.
-func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+// NumNodes returns N, including the virtual sink when present. The node
+// set is fixed at construction — edge deltas never change it — so this
+// is safe to call concurrently with ApplyDelta.
+func (g *Graph) NumNodes() int { return g.n }
+
+// Epoch returns the number of edge-delta batches applied to the graph.
+// A freshly built graph is at epoch 0.
+func (g *Graph) Epoch() uint64 { return g.epoch }
 
 // NumEdges returns the number of directed edges stored.
 func (g *Graph) NumEdges() int { return len(g.adj) }
@@ -49,17 +63,25 @@ func (g *Graph) OutDegree(u int32) int { return int(g.offsets[u+1] - g.offsets[u
 // otherwise. It is 0 only for true dangling nodes.
 func (g *Graph) OutWeight(u int32) int { return int(g.outW[u]) }
 
-// In returns the in-neighbors of u. The reverse adjacency is built on the
-// first call; building is goroutine-safe (sync.Once).
+// In returns the in-neighbors of u. The reverse adjacency is built on
+// first use after each mutation (see BuildReverse); concurrent readers
+// are safe, but In must not race with ApplyDelta.
 func (g *Graph) In(u int32) []int32 {
 	g.BuildReverse()
 	return g.inAdj[g.inOff[u]:g.inOff[u+1]]
 }
 
 // BuildReverse materializes the reverse adjacency (in-edges). Safe for
-// concurrent use; only the first call does work.
+// concurrent use with other readers; only the first call after a
+// mutation does work. It must not race with ApplyDelta (see Delta).
 func (g *Graph) BuildReverse() {
-	g.inOnce.Do(g.buildReverse)
+	g.inMu.Lock()
+	defer g.inMu.Unlock()
+	if g.inOff != nil && g.inEpoch == g.epoch {
+		return
+	}
+	g.buildReverse()
+	g.inEpoch = g.epoch
 }
 
 func (g *Graph) buildReverse() {
@@ -176,7 +198,7 @@ func (b *Builder) Build() *Graph {
 	for u := 0; u < b.n; u++ {
 		outW[u] = offsets[u+1] - offsets[u]
 	}
-	return &Graph{offsets: offsets, adj: adj, outW: outW, virtual: -1}
+	return &Graph{n: b.n, offsets: offsets, adj: adj, outW: outW, virtual: -1}
 }
 
 // Reset clears accumulated edges keeping capacity.

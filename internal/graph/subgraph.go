@@ -111,7 +111,7 @@ func extract(g *Graph, members []int32, virtual bool) *Subgraph {
 	}
 	// Out-lists must stay sorted; local ids follow member order, which need
 	// not be sorted the same way as parent ids, so sort each list.
-	lg := &Graph{offsets: offsets, adj: adj, outW: outW, virtual: -1}
+	lg := &Graph{n: total, offsets: offsets, adj: adj, outW: outW, virtual: -1}
 	if virtual {
 		lg.virtual = sink
 	}

@@ -5,6 +5,12 @@
 // for 2-way splits), and — crucially — once a node becomes a hub it is
 // removed from every deeper level. Partitioning recurses until a subgraph
 // has no internal edges, is too small, or the configured level cap is hit.
+//
+// The hierarchy also supports incremental maintenance under edge deltas:
+// ApplyDelta maps a batch to the dirty tree nodes — exactly the
+// root-to-home chains of the edge tails — and repairs the separator
+// property by hub promotion instead of re-partitioning. See the Update
+// type in update.go for the full dirty-set semantics.
 package hierarchy
 
 import (

@@ -174,7 +174,7 @@ func PowerIterationSet(g *graph.Graph, pref []int32, p Params) (sparse.Vector, e
 // hub set, in which case the result is the full local PPV of u — exactly
 // the "leaf level" vectors HGPA stores (§4.4).
 func PartialVector(g *graph.Graph, u int32, isHub []bool, p Params) (partial, hubBlocked sparse.Vector, err error) {
-	d, blocked, err := partialVectorDense(g, u, isHub, p)
+	d, blocked, err := partialVectorDense(g, u, isHub, p, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -187,16 +187,18 @@ func PartialVector(g *graph.Graph, u int32, isHub []bool, p Params) (partial, hu
 // vector stays a map: its consumers mutate and drain it (the FastPPV
 // scheduler's priority queue).
 func PartialVectorPacked(g *graph.Graph, u int32, isHub []bool, p Params) (partial sparse.Packed, hubBlocked sparse.Vector, err error) {
-	d, blocked, err := partialVectorDense(g, u, isHub, p)
+	d, blocked, err := partialVectorDense(g, u, isHub, p, nil)
 	if err != nil {
 		return sparse.Packed{}, nil, err
 	}
 	return sparse.PackedFromDense(d, 0), sparse.FromDense(blocked, 0), nil
 }
 
-// partialVectorDense is the selective-expansion kernel shared by both
+// partialVectorDense is the selective-expansion kernel shared by all
 // emitters, producing dense lower-approximation and blocked-mass slices.
-func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params) (dense, blockedMass []float64, err error) {
+// With a non-nil Scratch the slices alias its buffers (valid until the
+// scratch's next use); with nil they are freshly allocated.
+func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scratch) (dense, blockedMass []float64, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -207,13 +209,14 @@ func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params) (dense,
 	if isHub != nil && len(isHub) != n {
 		return nil, nil, fmt.Errorf("ppr: isHub length %d, want %d", len(isHub), n)
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	hub := func(v int32) bool { return isHub != nil && isHub[v] }
 
-	d := make([]float64, n)       // D_k: lower approximation of the partial vector
-	e := make([]float64, n)       // E_k: residual walk mass pending a visit
-	blocked := make([]float64, n) // continuation mass frozen at hubs
-	queue := make([]int32, 0, 64)
-	inQueue := make([]bool, n)
+	d, e, blocked := sc.dense(n) // D_k approximation, E_k residual, hub-frozen mass
+	queue := sc.ids()
+	inQueue := sc.bools(n)
 	push := func(v int32) {
 		if !inQueue[v] && e[v] > p.Eps {
 			inQueue[v] = true
@@ -276,6 +279,13 @@ func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params) (dense,
 // The returned dense slice is indexed by local node id; entry u converges
 // to s_u(h) — the local PPV value r_u(h).
 func SkeletonForHub(g *graph.Graph, h int32, p Params) ([]float64, error) {
+	return skeletonForHub(g, h, p, nil)
+}
+
+// skeletonForHub is the reverse-push kernel behind SkeletonForHub; a
+// non-nil Scratch supplies the working arrays (the result then aliases
+// them), nil allocates fresh ones.
+func skeletonForHub(g *graph.Graph, h int32, p Params, sc *Scratch) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -283,12 +293,14 @@ func SkeletonForHub(g *graph.Graph, h int32, p Params) ([]float64, error) {
 	if h < 0 || int(h) >= n || g.IsVirtual(h) {
 		return nil, fmt.Errorf("ppr: hub %d invalid", h)
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	g.BuildReverse()
-	est := make([]float64, n)
-	res := make([]float64, n)
+	est, res, _ := sc.dense(n)
 	res[h] = p.Alpha
-	queue := make([]int32, 0, 64)
-	inQueue := make([]bool, n)
+	queue := sc.ids()
+	inQueue := sc.bools(n)
 	queue = append(queue, h)
 	inQueue[h] = true
 	steps := 0

@@ -1,0 +1,66 @@
+package ppr
+
+import (
+	"exactppr/internal/graph"
+	"exactppr/internal/sparse"
+)
+
+// Scratch holds the dense working arrays of the ppr kernels so a worker
+// executing many tasks back to back — the pre-computation pool, the
+// incremental-update recompute pool — reuses one set of buffers instead
+// of allocating fresh O(|V|) slices per vector. The zero value is ready
+// to use; a Scratch must not be shared between concurrent calls.
+type Scratch struct {
+	f1, f2, f3 []float64
+	marks      []bool
+	queue      []int32
+}
+
+// dense returns the three float buffers re-sliced to n and zeroed.
+func (sc *Scratch) dense(n int) (a, b, c []float64) {
+	if cap(sc.f1) < n {
+		sc.f1 = make([]float64, n)
+		sc.f2 = make([]float64, n)
+		sc.f3 = make([]float64, n)
+	}
+	a, b, c = sc.f1[:n], sc.f2[:n], sc.f3[:n]
+	clear(a)
+	clear(b)
+	clear(c)
+	return a, b, c
+}
+
+func (sc *Scratch) bools(n int) []bool {
+	if cap(sc.marks) < n {
+		sc.marks = make([]bool, n)
+	}
+	m := sc.marks[:n]
+	clear(m)
+	return m
+}
+
+func (sc *Scratch) ids() []int32 {
+	if sc.queue == nil {
+		sc.queue = make([]int32, 0, 64)
+	}
+	return sc.queue[:0]
+}
+
+// PartialVectorPacked is ppr.PartialVectorPacked running on the
+// scratch's buffers; the blocked-mass diagnostic is not materialized.
+// The returned Packed owns fresh storage — it stays valid after the
+// scratch is reused.
+func (sc *Scratch) PartialVectorPacked(g *graph.Graph, u int32, isHub []bool, p Params) (sparse.Packed, error) {
+	d, _, err := partialVectorDense(g, u, isHub, p, sc)
+	if err != nil {
+		return sparse.Packed{}, err
+	}
+	return sparse.PackedFromDense(d, 0), nil
+}
+
+// SkeletonForHub is ppr.SkeletonForHub running on the scratch's
+// buffers. The returned dense slice ALIASES the scratch and is only
+// valid until the next call on sc — callers must drain it first.
+func (sc *Scratch) SkeletonForHub(g *graph.Graph, h int32, p Params) ([]float64, error) {
+	return skeletonForHub(g, h, p, sc)
+}
