@@ -158,18 +158,95 @@ func BenchmarkHGPAQueryMachines(b *testing.B) {
 	}
 }
 
-// BenchmarkPrecompute is Figure 12's offline cost (per full build).
-func BenchmarkPrecompute(b *testing.B) {
-	f := benchFixture(b)
-	h, err := hierarchy.Build(f.g, hierarchy.Options{Seed: 1})
-	if err != nil {
-		b.Fatal(err)
+// offlineFixture is the large-partition fixture for the offline-cost
+// benchmarks (BenchmarkPrecompute, BenchmarkApplyUpdates): the paper's
+// GPA deployment (§3, Figure 12) — m machine-sized partitions of a
+// larger web graph, one hub set. This is the regime the kernel choice
+// is about: every vector runs on an n/m-node subgraph, so
+// graph-proportional bookkeeping (O(|V|) clears and drains, a mutex
+// acquisition per reverse pop) dwarfs the few hundred residual pushes
+// a vector actually needs. The deep edge-free hierarchy of the shared
+// fixture hides that cost behind tiny leaf subgraphs; serving
+// deployments partition by machine count, not to exhaustion. ε is
+// relaxed to 1e-3 as the paper does on its larger graphs (§6; cf. the
+// 1e-2 used for PLD_full in BenchmarkHGPAManyProcs).
+type offlineFix struct {
+	g *graph.Graph
+	h *hierarchy.Hierarchy
+}
+
+var (
+	offlineOnce   sync.Once
+	offline       offlineFix
+	offlineParams = ppr.Params{Alpha: 0.15, Eps: 1e-3}
+)
+
+const offlineFanout = 4
+
+func offlineFixture(b *testing.B) *offlineFix {
+	b.Helper()
+	offlineOnce.Do(func() {
+		g, err := gen.Dataset("web", 3, 1)
+		if err != nil {
+			panic(err)
+		}
+		h, err := hierarchy.Build(g, hierarchy.Options{Seed: 1, Fanout: offlineFanout, MaxLevels: 1})
+		if err != nil {
+			panic(err)
+		}
+		offline = offlineFix{g: g, h: h}
+	})
+	return &offline
+}
+
+// reportKernelMetrics attaches the kernel cost model to a bench:
+// pushes/vector (residual pops actually performed — the
+// work-proportional unit) and densefrac (the fraction of vectors
+// drained by the dense sweep: 1 under KernelDense, the spill rate
+// under KernelAuto).
+func reportKernelMetrics(b *testing.B, pushes, vectors, fallbacks int64) {
+	if vectors > 0 {
+		b.ReportMetric(float64(pushes)/float64(vectors), "pushes/vector")
+		b.ReportMetric(float64(fallbacks)/float64(vectors), "densefrac")
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.Precompute(h, benchParams, 0); err != nil {
+}
+
+// BenchmarkPrecompute is Figure 12's offline cost (per full build).
+// deep tracks the shared fixture's edge-free hierarchy (the historical
+// number); the gpa sub-benchmarks run the machine-sized-partition
+// fixture for both kernels — the pair the kernel speedup is judged on.
+func BenchmarkPrecompute(b *testing.B) {
+	b.Run("deep", func(b *testing.B) {
+		f := benchFixture(b)
+		h, err := hierarchy.Build(f.g, hierarchy.Options{Seed: 1})
+		if err != nil {
 			b.Fatal(err)
 		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Precompute(h, benchParams, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, k := range []ppr.Kernel{ppr.KernelAuto, ppr.KernelDense} {
+		b.Run("gpa/kernel="+k.String(), func(b *testing.B) {
+			f := offlineFixture(b)
+			p := offlineParams
+			p.Kernel = k
+			var pushes, vectors, fallbacks int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, info, err := core.PrecomputeWithInfo(f.h, p, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pushes += info.Pushes
+				vectors += int64(info.Vectors)
+				fallbacks += info.DenseFallbacks
+			}
+			reportKernelMetrics(b, pushes, vectors, fallbacks)
+		})
 	}
 }
 
@@ -414,6 +491,7 @@ func BenchmarkDiskStoreQuery(b *testing.B) {
 	defer ds.Close()
 	ds.SetCacheCap(64) // force real disk traffic
 	qs := benchQueries(f.g, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ds.Query(qs[i%len(qs)]); err != nil {
@@ -444,19 +522,45 @@ func BenchmarkMonteCarlo(b *testing.B) {
 // BenchmarkApplyUpdates measures incremental update throughput: each
 // iteration applies one edge-insert batch and then the reverting delete
 // batch, so the store ends each iteration where it started (after a
-// one-time warm-up that settles any hub promotions). The dedicated
-// fixture keeps the mutation away from the shared read-only one. The
-// custom metric reports how many store vectors one batch recomputes —
-// the quantity a full rebuild would multiply to the whole store.
+// one-time warm-up that settles any hub promotions). Dedicated fixtures
+// keep the mutation away from the shared read-only one: deep is the
+// historical edge-free hierarchy, the gpa sub-benchmarks re-run the
+// machine-sized-partition deployment (see offlineFixture) for both
+// kernels — a dirty partition there is an n/m-node subgraph, the
+// workload the push kernels exist for. The custom metric reports how
+// many store vectors one batch recomputes — the quantity a full
+// rebuild would multiply to the whole store.
 func BenchmarkApplyUpdates(b *testing.B) {
-	g, err := gen.Dataset("web", benchScale, 5)
-	if err != nil {
-		b.Fatal(err)
+	b.Run("deep", func(b *testing.B) {
+		g, err := gen.Dataset("web", benchScale, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1}, benchParams, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchApplyUpdates(b, g, store)
+	})
+	for _, k := range []ppr.Kernel{ppr.KernelAuto, ppr.KernelDense} {
+		b.Run("gpa/kernel="+k.String(), func(b *testing.B) {
+			// A fresh graph per kernel: the updates mutate it in place.
+			g, err := gen.Dataset("web", 2, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := offlineParams
+			p.Kernel = k
+			store, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1, Fanout: offlineFanout, MaxLevels: 1}, p, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchApplyUpdates(b, g, store)
+		})
 	}
-	store, err := core.BuildHGPA(g, hierarchy.Options{Seed: 1}, benchParams, 0)
-	if err != nil {
-		b.Fatal(err)
-	}
+}
+
+func benchApplyUpdates(b *testing.B, g *graph.Graph, store *core.Store) {
 	live := core.NewLiveStore(store)
 	// A fixed batch of edges absent from the generated graph.
 	var ins [][2]int32
@@ -467,31 +571,34 @@ func BenchmarkApplyUpdates(b *testing.B) {
 			ins = append(ins, [2]int32{u, v})
 		}
 	}
-	warm := func() (int, error) {
+	warm := func() (recomputed int, pushes, fallbacks int64, err error) {
 		a, err := live.ApplyUpdates(graph.Delta{Insert: ins}, 0)
 		if err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		d, err := live.ApplyUpdates(graph.Delta{Delete: ins}, 0)
 		if err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
-		return a.Recomputed + d.Recomputed, nil
+		return a.Recomputed + d.Recomputed, a.Pushes + d.Pushes, a.DenseFallbacks + d.DenseFallbacks, nil
 	}
-	if _, err := warm(); err != nil { // settle promotions before timing
+	if _, _, _, err := warm(); err != nil { // settle promotions before timing
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	var recomputed int64
+	var recomputed, pushes, fallbacks int64
 	for i := 0; i < b.N; i++ {
-		r, err := warm()
+		r, p, f, err := warm()
 		if err != nil {
 			b.Fatal(err)
 		}
 		recomputed += int64(r)
+		pushes += p
+		fallbacks += f
 	}
 	b.ReportMetric(float64(recomputed)/float64(2*b.N), "vectors/batch")
 	b.ReportMetric(float64(live.Store().Stats().Hubs*2+live.Store().Stats().Leaves), "vectors/store")
+	reportKernelMetrics(b, pushes, recomputed, fallbacks)
 }
 
 func BenchmarkQuerySet(b *testing.B) {

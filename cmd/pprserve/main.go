@@ -38,6 +38,7 @@ import (
 
 	"exactppr/internal/cluster"
 	"exactppr/internal/core"
+	"exactppr/internal/ppr"
 )
 
 func main() {
@@ -55,8 +56,14 @@ func main() {
 		httpAddr    = flag.String("http", "", "serve the HTTP/JSON gateway on this address")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (gateway mode)")
 		updates     = flag.Bool("updates", false, "accept edge-delta updates (worker / local gateway mode)")
+		kernel      = flag.String("kernel", "auto", "recompute kernel for -updates batches: auto, dense, push")
 	)
 	flag.Parse()
+
+	kern, err := ppr.ParseKernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *coordinator {
 		coord := dialCoordinator(*workers, *conns)
@@ -72,6 +79,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The kernel knob only matters for -updates recomputes; stored
+	// vectors are kernel-independent, so setting it is always safe.
+	store.Params.Kernel = kern
 
 	if *httpAddr != "" {
 		// Local gateway: shard the store across in-process machines and

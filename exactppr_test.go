@@ -98,6 +98,49 @@ func TestDefaultParams(t *testing.T) {
 	if p.Alpha != 0.15 || p.Eps != 1e-4 {
 		t.Fatalf("defaults changed: %+v", p)
 	}
+	if p.Kernel != KernelAuto {
+		t.Fatalf("default kernel = %v, want auto", p.Kernel)
+	}
+}
+
+// TestKernelFacade: the kernel knob is reachable through the facade,
+// never changes query results, and the info block reports it.
+func TestKernelFacade(t *testing.T) {
+	g, err := GenerateCommunityGraph(GenConfig{Nodes: 80, AvgOutDegree: 3, Communities: 2, MinOutDegree: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, err := ParseKernel("push"); err != nil || k != KernelPush {
+		t.Fatalf("ParseKernel: %v, %v", k, err)
+	}
+	var ref Vector
+	for _, k := range []Kernel{KernelDense, KernelPush, KernelAuto} {
+		p := DefaultParams()
+		p.Kernel = k
+		store, info, err := BuildHGPAWithInfo(g, HierarchyOptions{Seed: 2}, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Kernel != k || info.Vectors == 0 {
+			t.Fatalf("info = %+v, want kernel %v", info, k)
+		}
+		ppv, err := store.Query(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = ppv
+			continue
+		}
+		if len(ppv) != len(ref) {
+			t.Fatalf("kernel %v: %d entries, want %d", k, len(ppv), len(ref))
+		}
+		for id, x := range ref {
+			if d := ppv.Get(id) - x; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("kernel %v: entry %d differs by %v", k, id, d)
+			}
+		}
+	}
 }
 
 func TestGenerateDatasetFacade(t *testing.T) {

@@ -231,6 +231,13 @@ func (c *countingReader) skip(n int64) error {
 	return err
 }
 
+// fetchBufPool recycles the read buffers of fetch across queries: a
+// cache miss used to allocate a fresh payload-sized slice, which at
+// disk-resident cache rates made the read buffer the top allocation of
+// the query path. DecodePacked copies out of the buffer, so returning
+// it to the pool before decoding results escape is safe.
+var fetchBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // fetch reads (and caches) one vector in packed form — decoding a
 // canonical payload into the columnar arrays is a straight copy.
 func (d *DiskStore) fetch(section int8, key int32) (sparse.Packed, error) {
@@ -246,7 +253,12 @@ func (d *DiskStore) fetch(section int8, key int32) (sparse.Packed, error) {
 	if !ok {
 		return sparse.Packed{}, fmt.Errorf("core: no vector for section %d key %d", section, key)
 	}
-	buf := make([]byte, sp.len)
+	bp := fetchBufPool.Get().(*[]byte)
+	defer fetchBufPool.Put(bp)
+	if cap(*bp) < int(sp.len) {
+		*bp = make([]byte, sp.len)
+	}
+	buf := (*bp)[:sp.len]
 	d.fmu.RLock()
 	if d.closed {
 		d.fmu.RUnlock()

@@ -33,7 +33,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"exactppr/internal/hierarchy"
@@ -72,6 +71,17 @@ type PrecomputeInfo struct {
 	TotalTaskTime time.Duration
 	// Tasks is the number of per-node/per-hub tasks executed.
 	Tasks int
+	// Kernel is the engine the run used (Params.Kernel).
+	Kernel ppr.Kernel
+	// Vectors is the number of vectors the kernels produced.
+	Vectors int
+	// Pushes is the total number of residual pops across all kernel
+	// invocations — the work-proportional cost unit; divide by Vectors
+	// for the pushes/vector figure of the bench artifacts.
+	Pushes int64
+	// DenseFallbacks counts vectors drained by the dense sweep (all of
+	// them under KernelDense, frontier spills under KernelAuto).
+	DenseFallbacks int64
 }
 
 // Precompute runs the distributed pre-computation of §5 over `workers`
@@ -92,37 +102,52 @@ func PrecomputeWithInfo(h *hierarchy.Hierarchy, params ppr.Params, workers int) 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Store{
-		H:          h,
-		Params:     params,
-		HubPartial: make(map[int32]sparse.Packed),
-		Skeleton:   make(map[int32]sparse.Packed),
-		LeafPPV:    make(map[int32]sparse.Packed),
-	}
-
 	var tasks []precomputeTask
 	for _, n := range h.Nodes() {
 		tasks = append(tasks, nodeTasks(h, n)...)
 		n.Sub.G.BuildReverse() // safe to pre-build; used by skeletons
 	}
-	taskTime, err := s.runTasks(tasks, workers)
+	nHubs, nLeaves := 0, 0
+	for _, t := range tasks {
+		if t.hub {
+			nHubs++
+		} else {
+			nLeaves++
+		}
+	}
+	s := &Store{
+		H:          h,
+		Params:     params,
+		HubPartial: make(map[int32]sparse.Packed, nHubs),
+		Skeleton:   make(map[int32]sparse.Packed, nHubs),
+		LeafPPV:    make(map[int32]sparse.Packed, nLeaves),
+	}
+	ri, err := s.runTasks(tasks, workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	info := &PrecomputeInfo{
-		Wall:          time.Since(start),
-		TotalTaskTime: taskTime,
-		Tasks:         len(tasks),
+		Wall:           time.Since(start),
+		TotalTaskTime:  ri.taskTime,
+		Tasks:          len(tasks),
+		Kernel:         params.Kernel,
+		Vectors:        int(ri.kstats.Vectors),
+		Pushes:         ri.kstats.Pushes,
+		DenseFallbacks: ri.kstats.DenseFallbacks,
 	}
 	return s, info, nil
 }
 
 // precomputeTask is one vector-producing unit of work: a hub's
-// partial+skeleton pair, or one leaf PPV.
+// partial+skeleton pair, or one leaf PPV. Hub tasks of the same tree
+// node share one read-only isHub mask, built once per node instead of
+// once per hub (the mask is O(|subgraph|) and the root node alone can
+// carry dozens of hubs).
 type precomputeTask struct {
-	node *hierarchy.Node
-	u    int32 // global id
-	hub  bool
+	node  *hierarchy.Node
+	u     int32 // global id
+	hub   bool
+	isHub []bool // hub mask in the node's local id space; nil for leaf tasks
 }
 
 // Vectors returns how many store vectors the task produces.
@@ -138,131 +163,178 @@ func (t precomputeTask) Vectors() int {
 // incremental updater re-runs per dirty node.
 func nodeTasks(h *hierarchy.Hierarchy, n *hierarchy.Node) []precomputeTask {
 	var tasks []precomputeTask
+	var isHub []bool
+	if len(n.Hubs) > 0 {
+		isHub = make([]bool, n.Sub.G.NumNodes())
+		for _, x := range n.Hubs {
+			isHub[n.Sub.Local(x)] = true
+		}
+	}
 	for _, hub := range n.Hubs {
-		tasks = append(tasks, precomputeTask{n, hub, true})
+		tasks = append(tasks, precomputeTask{n, hub, true, isHub})
 	}
 	if n.IsLeaf() {
 		for _, m := range n.Members {
 			if !h.IsHub(m) {
-				tasks = append(tasks, precomputeTask{n, m, false})
+				tasks = append(tasks, precomputeTask{n, m, false, nil})
 			}
 		}
 	}
 	return tasks
 }
 
+// stagedVec is one computed vector awaiting its section-map write.
+type stagedVec struct {
+	key int32
+	vec sparse.Packed
+}
+
+// workerStage is one worker's private output buffer. Workers never
+// touch the store's maps: results are staged here and merged by the
+// coordinating goroutine after the pool drains, so the pool runs with
+// no shared lock at all (a store-wide mutex used to serialize every
+// vector write, which flattened worker scaling once the push kernels
+// made individual tasks short).
+type workerStage struct {
+	hubPartial, skeleton, leaf []stagedVec
+	sc                         ppr.Scratch
+	nanos                      int64
+	err                        error
+}
+
+// runInfo aggregates what a task pool run cost.
+type runInfo struct {
+	taskTime time.Duration
+	kstats   ppr.KernelStats
+}
+
 // runTasks executes independent pre-computation tasks on a bounded
-// worker pool, each worker reusing one ppr.Scratch across its tasks.
-// It returns the summed task compute time.
-func (s *Store) runTasks(tasks []precomputeTask, workers int) (time.Duration, error) {
+// worker pool, each worker reusing one ppr.Scratch across its tasks and
+// staging results privately; the section maps are written once, here,
+// after the pool drains. On error the maps are left untouched.
+func (s *Store) runTasks(tasks []precomputeTask, workers int) (runInfo, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var (
-		mu        sync.Mutex
-		firstErr  error
-		wg        sync.WaitGroup
-		ch        = make(chan precomputeTask)
-		taskNanos atomic.Int64
-	)
-	worker := func() {
-		defer wg.Done()
-		sc := &ppr.Scratch{} // dense buffers reused across this worker's tasks
-		for t := range ch {
-			t0 := time.Now()
-			var err error
-			if t.hub {
-				err = s.precomputeHub(t.node, t.u, sc)
-			} else {
-				err = s.precomputeLeaf(t.node, t.u, sc)
-			}
-			taskNanos.Add(int64(time.Since(t0)))
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}
+	if workers > len(tasks) {
+		workers = max(len(tasks), 1)
 	}
+	stages := make([]workerStage, workers)
+	ch := make(chan precomputeTask)
+	var wg sync.WaitGroup
 	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go worker()
+	for i := range stages {
+		go func(st *workerStage) {
+			defer wg.Done()
+			for t := range ch {
+				t0 := time.Now()
+				if t.hub {
+					partial, skel, err := s.computeHub(t, &st.sc)
+					if err == nil {
+						st.hubPartial = append(st.hubPartial, stagedVec{t.u, partial})
+						st.skeleton = append(st.skeleton, stagedVec{t.u, skel})
+					} else if st.err == nil {
+						st.err = err
+					}
+				} else {
+					leaf, err := s.computeLeaf(t, &st.sc)
+					if err == nil {
+						st.leaf = append(st.leaf, stagedVec{t.u, leaf})
+					} else if st.err == nil {
+						st.err = err
+					}
+				}
+				st.nanos += int64(time.Since(t0))
+			}
+		}(&stages[i])
 	}
 	for _, t := range tasks {
 		ch <- t
 	}
 	close(ch)
 	wg.Wait()
-	return time.Duration(taskNanos.Load()), firstErr
-}
-
-var storeMu sync.Mutex // guards Store maps during parallel precompute
-
-func (s *Store) precomputeHub(n *hierarchy.Node, hub int32, sc *ppr.Scratch) error {
-	g := n.Sub.G
-	lh := n.Sub.Local(hub)
-	isHub := make([]bool, g.NumNodes())
-	for _, x := range n.Hubs {
-		isHub[n.Sub.Local(x)] = true
-	}
-	partial, err := sc.PartialVectorPacked(g, lh, isHub, s.Params)
-	if err != nil {
-		return fmt.Errorf("core: partial of hub %d: %w", hub, err)
-	}
-	adjusted := make([]sparse.Entry, 0, partial.Len())
-	partial.ForEach(func(lid int32, x float64) {
-		if lid == lh {
-			return // the α·x_h adjustment removes the zero-length tour
-		}
-		adjusted = append(adjusted, sparse.Entry{ID: n.Sub.Parent(lid), Score: x})
-	})
-	adjustedP, err := sparse.PackEntries(adjusted)
-	if err != nil {
-		return fmt.Errorf("core: partial of hub %d: %w", hub, err)
-	}
-	// The skeleton's dense result aliases the scratch; it is drained into
-	// entries before the scratch's next task.
-	sk, err := sc.SkeletonForHub(g, lh, s.Params)
-	if err != nil {
-		return fmt.Errorf("core: skeleton of hub %d: %w", hub, err)
-	}
-	skel := make([]sparse.Entry, 0, 64)
-	for lid, x := range sk {
-		if x != 0 && lid < n.Sub.Len() {
-			skel = append(skel, sparse.Entry{ID: n.Sub.Parent(int32(lid)), Score: x})
+	var ri runInfo
+	var firstErr error
+	for i := range stages {
+		st := &stages[i]
+		ri.taskTime += time.Duration(st.nanos)
+		ri.kstats.Add(st.sc.Stats)
+		if firstErr == nil && st.err != nil {
+			firstErr = st.err
 		}
 	}
-	skelP, err := sparse.PackEntries(skel)
-	if err != nil {
-		return fmt.Errorf("core: skeleton of hub %d: %w", hub, err)
+	if firstErr != nil {
+		return ri, firstErr
 	}
-	storeMu.Lock()
-	s.HubPartial[hub] = adjustedP
-	s.Skeleton[hub] = skelP
-	storeMu.Unlock()
-	return nil
+	for i := range stages {
+		for _, v := range stages[i].hubPartial {
+			s.HubPartial[v.key] = v.vec
+		}
+		for _, v := range stages[i].skeleton {
+			s.Skeleton[v.key] = v.vec
+		}
+		for _, v := range stages[i].leaf {
+			s.LeafPPV[v.key] = v.vec
+		}
+	}
+	return ri, nil
 }
 
-func (s *Store) precomputeLeaf(n *hierarchy.Node, u int32, sc *ppr.Scratch) error {
-	g := n.Sub.G
-	local, err := sc.PartialVectorPacked(g, n.Sub.Local(u), nil, s.Params)
+// computeHub produces hub t.u's adjusted partial P_h = p_h − α·x_h and
+// its skeleton vector, both in global id space. The kernel entries
+// alias the scratch, so each vector is drained into packed form before
+// the scratch's next use.
+func (s *Store) computeHub(t precomputeTask, sc *ppr.Scratch) (adjusted, skeleton sparse.Packed, err error) {
+	n, g := t.node, t.node.Sub.G
+	lh := n.Sub.Local(t.u)
+	ents, err := sc.PartialEntries(g, lh, t.isHub, s.Params)
 	if err != nil {
-		return fmt.Errorf("core: leaf PPV of %d: %w", u, err)
+		return sparse.Packed{}, sparse.Packed{}, fmt.Errorf("core: partial of hub %d: %w", t.u, err)
 	}
-	global := make([]sparse.Entry, 0, local.Len())
-	local.ForEach(func(lid int32, x float64) {
-		global = append(global, sparse.Entry{ID: n.Sub.Parent(lid), Score: x})
-	})
-	globalP, err := sparse.PackEntries(global)
+	// Remap local→global in place (the entry buffer is scratch-owned and
+	// drained by PackEntries before the scratch's next kernel call).
+	j := 0
+	for _, e := range ents {
+		if e.ID == lh {
+			continue // the α·x_h adjustment removes the zero-length tour
+		}
+		ents[j] = sparse.Entry{ID: n.Sub.Parent(e.ID), Score: e.Score}
+		j++
+	}
+	adjusted, err = sparse.PackEntries(ents[:j])
 	if err != nil {
-		return fmt.Errorf("core: leaf PPV of %d: %w", u, err)
+		return sparse.Packed{}, sparse.Packed{}, fmt.Errorf("core: partial of hub %d: %w", t.u, err)
 	}
-	storeMu.Lock()
-	s.LeafPPV[u] = globalP
-	storeMu.Unlock()
-	return nil
+	ents, err = sc.SkeletonEntries(g, lh, s.Params)
+	if err != nil {
+		return sparse.Packed{}, sparse.Packed{}, fmt.Errorf("core: skeleton of hub %d: %w", t.u, err)
+	}
+	for i, e := range ents {
+		ents[i] = sparse.Entry{ID: n.Sub.Parent(e.ID), Score: e.Score}
+	}
+	skeleton, err = sparse.PackEntries(ents)
+	if err != nil {
+		return sparse.Packed{}, sparse.Packed{}, fmt.Errorf("core: skeleton of hub %d: %w", t.u, err)
+	}
+	return adjusted, skeleton, nil
+}
+
+// computeLeaf produces the leaf-level local PPV of non-hub node t.u in
+// global id space.
+func (s *Store) computeLeaf(t precomputeTask, sc *ppr.Scratch) (sparse.Packed, error) {
+	n, g := t.node, t.node.Sub.G
+	ents, err := sc.PartialEntries(g, n.Sub.Local(t.u), nil, s.Params)
+	if err != nil {
+		return sparse.Packed{}, fmt.Errorf("core: leaf PPV of %d: %w", t.u, err)
+	}
+	for i, e := range ents {
+		ents[i] = sparse.Entry{ID: n.Sub.Parent(e.ID), Score: e.Score}
+	}
+	globalP, err := sparse.PackEntries(ents)
+	if err != nil {
+		return sparse.Packed{}, fmt.Errorf("core: leaf PPV of %d: %w", t.u, err)
+	}
+	return globalP, nil
 }
 
 // Query constructs the exact PPV of u centrally (HGPA on one machine,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"exactppr/internal/graph"
+	"exactppr/internal/ppr"
 )
 
 // Incremental maintenance. A Store is exact because every stored vector
@@ -36,6 +37,12 @@ type UpdateInfo struct {
 	// rebuild would compute. Recomputed < StoreVectors is the whole
 	// point of dirty-partition maintenance.
 	Recomputed, StoreVectors int
+	// Kernel is the engine the recompute used (Params.Kernel).
+	Kernel ppr.Kernel
+	// Pushes is the total number of residual pops the recompute kernels
+	// performed; DenseFallbacks counts vectors drained by the dense
+	// sweep (see PrecomputeInfo).
+	Pushes, DenseFallbacks int64
 	// Wall is the end-to-end update time.
 	Wall time.Duration
 }
@@ -87,7 +94,8 @@ func (s *Store) ApplyUpdates(d graph.Delta, workers int) (*Store, *UpdateInfo, e
 		tasks = append(tasks, nodeTasks(upd.H, n)...)
 		n.Sub.G.BuildReverse()
 	}
-	if _, err := ns.runTasks(tasks, workers); err != nil {
+	ri, err := ns.runTasks(tasks, workers)
+	if err != nil {
 		// The shared root graph has already advanced, so the receiver
 		// can keep SERVING its snapshot but cannot absorb this batch
 		// again — a replay would be effective-filtered to a no-op
@@ -98,6 +106,9 @@ func (s *Store) ApplyUpdates(d graph.Delta, workers int) (*Store, *UpdateInfo, e
 	for _, t := range tasks {
 		info.Recomputed += t.Vectors()
 	}
+	info.Kernel = s.Params.Kernel
+	info.Pushes = ri.kstats.Pushes
+	info.DenseFallbacks = ri.kstats.DenseFallbacks
 	info.DirtyNodes = len(upd.Dirty)
 	info.Promoted = len(upd.Promoted)
 	info.StoreVectors = ns.storeVectors()

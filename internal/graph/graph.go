@@ -71,6 +71,17 @@ func (g *Graph) In(u int32) []int32 {
 	return g.inAdj[g.inOff[u]:g.inOff[u+1]]
 }
 
+// InLists returns the reverse adjacency in raw CSR form: the in-edges of
+// u are adj[off[u]:off[u+1]]. Unlike In, the per-call mutex is paid once
+// here instead of on every lookup, which is what the sparse-frontier
+// reverse-push kernel needs — its inner loop reads one in-list per
+// residual pop. The slices alias internal storage (read-only) and are
+// valid until the next ApplyDelta; like In, this must not race with one.
+func (g *Graph) InLists() (off, adj []int32) {
+	g.BuildReverse()
+	return g.inOff, g.inAdj
+}
+
 // BuildReverse materializes the reverse adjacency (in-edges). Safe for
 // concurrent use with other readers; only the first call after a
 // mutation does work. It must not race with ApplyDelta (see Delta).

@@ -14,6 +14,19 @@
 // a node with no out-edges). DanglingRestart reproduces the engineering
 // choice of the paper's Algorithm 2, which adds an implicit arc from every
 // dangling node back to the query node.
+//
+// The pre-computation kernels (partial vectors, skeleton vectors, leaf
+// PPVs) come in two engines selected by Params.Kernel: the original
+// dense-bookkeeping kernels, and sparse-frontier push kernels (push.go)
+// that run the same arithmetic with work-proportional bookkeeping —
+// epoch-stamped lazy slot initialization and touched-list drains — so a
+// vector that reaches t nodes costs O(t log t) instead of O(|V|).
+// Both engines maintain the Gauss–Southwell residual invariant
+// exact = estimate + Σ residual·kernel and terminate when every
+// residual is at most Eps (each entry then within Eps/α of the fixed
+// point); their outputs are bit-identical. KernelAuto (the default)
+// pushes and falls back to the dense sweep when the frontier spills
+// past a fixed fraction of the subgraph.
 package ppr
 
 import (
@@ -42,10 +55,19 @@ type Params struct {
 	Alpha float64
 	// Eps is the per-entry convergence tolerance (paper default 1e-4).
 	Eps float64
-	// MaxIter caps iterations as a safety net; 0 means a generous default.
+	// MaxIter caps work as a safety net; 0 means a generous default and
+	// negative values are rejected by Validate. For PowerIteration it
+	// bounds sweep iterations; for the queue-driven kernels — dense and
+	// push alike (KernelAuto/KernelPush interpret it identically) — it
+	// is a push-count cap scaled by the node count: at most
+	// MaxIter·NumNodes residual pops per vector.
 	MaxIter int
 	// Dangling selects the dangling-node policy.
 	Dangling DanglingPolicy
+	// Kernel selects the pre-computation engine (KernelAuto default:
+	// sparse-frontier push with adaptive dense fallback). It never
+	// changes results — only how the work is bookkept. See push.go.
+	Kernel Kernel
 }
 
 // Defaults returns the paper's default parameters: α = 0.15, ε = 1e-4.
@@ -65,6 +87,12 @@ func (p Params) Validate() error {
 	}
 	if !(p.Eps > 0) {
 		return fmt.Errorf("ppr: eps = %v, want > 0", p.Eps)
+	}
+	if p.MaxIter < 0 {
+		return fmt.Errorf("ppr: maxIter = %d, want >= 0 (0 means the default cap)", p.MaxIter)
+	}
+	if p.Kernel < KernelAuto || p.Kernel > KernelPush {
+		return fmt.Errorf("ppr: unknown kernel %d (want KernelAuto, KernelDense, or KernelPush)", int(p.Kernel))
 	}
 	return nil
 }
@@ -173,12 +201,21 @@ func PowerIterationSet(g *graph.Graph, pref []int32, p Params) (sparse.Vector, e
 // isHub[v] marks hub nodes in local id space; it may be nil for an empty
 // hub set, in which case the result is the full local PPV of u — exactly
 // the "leaf level" vectors HGPA stores (§4.4).
+//
+// The engine follows p.Kernel; both engines produce identical results.
 func PartialVector(g *graph.Graph, u int32, isHub []bool, p Params) (partial, hubBlocked sparse.Vector, err error) {
-	d, blocked, err := partialVectorDense(g, u, isHub, p, nil)
+	if p.Kernel == KernelDense {
+		d, blocked, _, err := partialVectorDense(g, u, isHub, p, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sparse.FromDense(d, 0), sparse.FromDense(blocked, 0), nil
+	}
+	st, err := pushPartial(g, u, isHub, p, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	return sparse.FromDense(d, 0), sparse.FromDense(blocked, 0), nil
+	return st.drainVector(st.est), st.drainVector(st.aux), nil
 }
 
 // PartialVectorPacked is PartialVector emitting the partial vector in
@@ -187,27 +224,35 @@ func PartialVector(g *graph.Graph, u int32, isHub []bool, p Params) (partial, hu
 // vector stays a map: its consumers mutate and drain it (the FastPPV
 // scheduler's priority queue).
 func PartialVectorPacked(g *graph.Graph, u int32, isHub []bool, p Params) (partial sparse.Packed, hubBlocked sparse.Vector, err error) {
-	d, blocked, err := partialVectorDense(g, u, isHub, p, nil)
+	if p.Kernel == KernelDense {
+		d, blocked, _, err := partialVectorDense(g, u, isHub, p, nil)
+		if err != nil {
+			return sparse.Packed{}, nil, err
+		}
+		return sparse.PackedFromDense(d, 0), sparse.FromDense(blocked, 0), nil
+	}
+	st, err := pushPartial(g, u, isHub, p, nil)
 	if err != nil {
 		return sparse.Packed{}, nil, err
 	}
-	return sparse.PackedFromDense(d, 0), sparse.FromDense(blocked, 0), nil
+	return st.drainPacked(), st.drainVector(st.aux), nil
 }
 
-// partialVectorDense is the selective-expansion kernel shared by all
-// emitters, producing dense lower-approximation and blocked-mass slices.
-// With a non-nil Scratch the slices alias its buffers (valid until the
-// scratch's next use); with nil they are freshly allocated.
-func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scratch) (dense, blockedMass []float64, err error) {
+// partialVectorDense is the dense-bookkeeping selective-expansion
+// kernel, producing dense lower-approximation and blocked-mass slices
+// plus the number of residual pops. With a non-nil Scratch the slices
+// alias its buffers (valid until the scratch's next use); with nil they
+// are freshly allocated. pushPartial is the sparse-frontier equivalent.
+func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scratch) (dense, blockedMass []float64, steps int, err error) {
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	n := g.NumNodes()
 	if u < 0 || int(u) >= n || g.IsVirtual(u) {
-		return nil, nil, fmt.Errorf("ppr: source %d invalid", u)
+		return nil, nil, 0, fmt.Errorf("ppr: source %d invalid", u)
 	}
 	if isHub != nil && len(isHub) != n {
-		return nil, nil, fmt.Errorf("ppr: isHub length %d, want %d", len(isHub), n)
+		return nil, nil, 0, fmt.Errorf("ppr: isHub length %d, want %d", len(isHub), n)
 	}
 	if sc == nil {
 		sc = &Scratch{}
@@ -215,7 +260,7 @@ func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scr
 	hub := func(v int32) bool { return isHub != nil && isHub[v] }
 
 	d, e, blocked := sc.dense(n) // D_k approximation, E_k residual, hub-frozen mass
-	queue := sc.ids()
+	queue := sc.queueBuf()
 	inQueue := sc.bools(n)
 	push := func(v int32) {
 		if !inQueue[v] && e[v] > p.Eps {
@@ -243,7 +288,6 @@ func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scr
 	d[u] = p.Alpha
 	expand(u, 1)
 
-	steps := 0
 	limit := p.maxIter() * max(n, 1)
 	for len(queue) > 0 && steps < limit {
 		steps++
@@ -262,7 +306,7 @@ func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scr
 		d[v] += p.Alpha * mass // tours ending here
 		expand(v, mass)
 	}
-	return d, blocked, nil
+	return d, blocked, steps, nil
 }
 
 // SkeletonForHub computes s_·(h) — the PPV value AT hub h for every source
@@ -277,21 +321,25 @@ func partialVectorDense(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scr
 // h's influence actually reaches. Space is O(|V|), the point of §5.2.
 //
 // The returned dense slice is indexed by local node id; entry u converges
-// to s_u(h) — the local PPV value r_u(h).
+// to s_u(h) — the local PPV value r_u(h). The output shape is dense by
+// contract regardless of Params.Kernel; PushSkeleton is the packed,
+// work-proportional variant.
 func SkeletonForHub(g *graph.Graph, h int32, p Params) ([]float64, error) {
-	return skeletonForHub(g, h, p, nil)
+	est, _, err := skeletonForHub(g, h, p, nil)
+	return est, err
 }
 
-// skeletonForHub is the reverse-push kernel behind SkeletonForHub; a
-// non-nil Scratch supplies the working arrays (the result then aliases
-// them), nil allocates fresh ones.
-func skeletonForHub(g *graph.Graph, h int32, p Params, sc *Scratch) ([]float64, error) {
+// skeletonForHub is the dense-bookkeeping reverse kernel behind
+// SkeletonForHub; a non-nil Scratch supplies the working arrays (the
+// result then aliases them), nil allocates fresh ones. pushSkeleton is
+// the sparse-frontier equivalent.
+func skeletonForHub(g *graph.Graph, h int32, p Params, sc *Scratch) (dense []float64, steps int, err error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := g.NumNodes()
 	if h < 0 || int(h) >= n || g.IsVirtual(h) {
-		return nil, fmt.Errorf("ppr: hub %d invalid", h)
+		return nil, 0, fmt.Errorf("ppr: hub %d invalid", h)
 	}
 	if sc == nil {
 		sc = &Scratch{}
@@ -299,11 +347,10 @@ func skeletonForHub(g *graph.Graph, h int32, p Params, sc *Scratch) ([]float64, 
 	g.BuildReverse()
 	est, res, _ := sc.dense(n)
 	res[h] = p.Alpha
-	queue := sc.ids()
+	queue := sc.queueBuf()
 	inQueue := sc.bools(n)
 	queue = append(queue, h)
 	inQueue[h] = true
-	steps := 0
 	limit := p.maxIter() * max(n, 1)
 	for len(queue) > 0 && steps < limit {
 		steps++
@@ -332,7 +379,7 @@ func skeletonForHub(g *graph.Graph, h int32, p Params, sc *Scratch) ([]float64, 
 	if g.HasVirtualSink() {
 		est[g.VirtualSink()] = 0
 	}
-	return est, nil
+	return est, steps, nil
 }
 
 // SkeletonForHubDense is the literal Jacobi iteration of Eq. 8/Theorem 6,

@@ -1,0 +1,517 @@
+package ppr
+
+import (
+	"fmt"
+
+	"exactppr/internal/graph"
+	"exactppr/internal/sparse"
+)
+
+// Sparse-frontier push kernels.
+//
+// The dense kernels in ppr.go already move probability mass with a
+// residual work queue, but every invocation still pays costs
+// proportional to the subgraph rather than to the work: O(|V|) scratch
+// clears up front, an O(|V|) drain scan at the end, and — for the
+// reverse kernel — a mutex acquisition per queue pop (graph.In locks on
+// every call). For pre-computation those overheads dominate: a hub
+// partial or leaf PPV usually touches a small neighborhood of a
+// subgraph, and the update path re-runs thousands of such vectors per
+// edge batch.
+//
+// The push kernels below run the SAME arithmetic in the SAME FIFO
+// order — outputs are bit-identical to the dense kernels — but make
+// the bookkeeping work-proportional:
+//
+//   - scratch slots are initialized lazily, on first touch, guarded by
+//     an epoch stamp (no up-front clears; a stale slot from a previous
+//     vector is never read);
+//   - touched slot ids are collected in a list, and the result drains
+//     by sorting that list (O(t log t) in the touched count t) instead
+//     of scanning O(|V|);
+//   - the reverse kernel reads the in-CSR arrays once (graph.InLists)
+//     instead of paying In's mutex per pop, and both directions run as
+//     straight-line loops over the raw CSR.
+//
+// # Residual invariant
+//
+// Both directions maintain the Gauss–Southwell invariant
+//
+//	exact(v) = d(v) + Σ_w e(w) · k_w(v)    for every v,
+//
+// where d is the current estimate, e the per-node residual, and k_w the
+// exact kernel answer started from w (the hub-blocked partial vector in
+// the forward case, the reverse value function in the skeleton case).
+// Every push moves one node's residual into its estimate and scatters
+// the (1−α) continuation onto its neighbors, preserving the invariant;
+// the loop stops when every residual is at most Eps, the same class of
+// ε·α guarantee as the dense termination rule (each entry is then
+// within Eps/α of the fixed point).
+//
+// # Adaptive dense fallback
+//
+// With Params.Kernel = KernelAuto, a kernel that touches more than
+// 1/autoSpillDivisor of the subgraph abandons sparse bookkeeping: the
+// remaining slots are bulk-initialized and the loop continues as the
+// plain dense sweep (no per-access stamp checks, dense drain). Worst
+// case cost is therefore the dense kernel's cost plus the already-done
+// sparse work — never asymptotically worse than KernelDense.
+// KernelPush never spills; KernelDense never stamps.
+
+// Kernel selects the engine behind the pre-computation kernels
+// (partial vectors, skeleton vectors, leaf PPVs).
+type Kernel int
+
+const (
+	// KernelAuto (the default) runs the sparse-frontier push kernel and
+	// falls back to the dense sweep when the frontier spills past
+	// 1/autoSpillDivisor of the subgraph.
+	KernelAuto Kernel = iota
+	// KernelDense forces the original dense-bookkeeping kernels
+	// (cleared O(|V|) scratch, dense drain, per-pop In locking in the
+	// reverse direction). Kept as the cross-validation oracle and perf
+	// baseline.
+	KernelDense
+	// KernelPush forces pure sparse bookkeeping with no dense fallback,
+	// whatever the frontier size.
+	KernelPush
+)
+
+// String returns the flag spelling of k ("auto", "dense", "push").
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelDense:
+		return "dense"
+	case KernelPush:
+		return "push"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// ParseKernel parses a -kernel flag value.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "dense":
+		return KernelDense, nil
+	case "push":
+		return KernelPush, nil
+	}
+	return 0, fmt.Errorf("ppr: unknown kernel %q (want auto, dense, or push)", s)
+}
+
+// KernelStats counts the work of kernel invocations accumulated on one
+// Scratch (one pre-computation worker).
+type KernelStats struct {
+	// Vectors is the number of kernel invocations.
+	Vectors int64
+	// Pushes is the number of residual pops that moved mass (the
+	// work-proportional cost unit; counted by every kernel).
+	Pushes int64
+	// DenseFallbacks counts vectors drained by the dense sweep: all of
+	// them under KernelDense, the frontier-spilled ones under
+	// KernelAuto, none under KernelPush.
+	DenseFallbacks int64
+}
+
+// Add accumulates b into s.
+func (s *KernelStats) Add(b KernelStats) {
+	s.Vectors += b.Vectors
+	s.Pushes += b.Pushes
+	s.DenseFallbacks += b.DenseFallbacks
+}
+
+// autoSpillDivisor sets the KernelAuto fallback threshold: once more
+// than NumNodes/autoSpillDivisor slots have been touched, the sorted
+// sparse drain would cost about as much as the dense scan it replaces,
+// so the kernel completes as a dense sweep instead.
+const autoSpillDivisor = 4
+
+// spillLimit returns the touched-slot count at which a kernel abandons
+// sparse bookkeeping, or a value never reached for KernelPush.
+func spillLimit(k Kernel, n int) int {
+	if k == KernelPush {
+		return n + 1 // touched never exceeds n: no spill
+	}
+	return n/autoSpillDivisor + 1
+}
+
+// pushState is the post-run state of a push kernel, aliasing the
+// scratch's buffers (valid until the scratch's next use). est/res are
+// the estimate/residual arrays (d/e in the forward kernel's terms);
+// aux is the forward kernel's hub-blocked mass, nil for the reverse
+// kernel. When spilled is false only stamped slots are meaningful and
+// touched lists exactly the stamped ids; when true every slot in [0,n)
+// is initialized and touched must be ignored.
+type pushState struct {
+	n        int
+	est, res []float64
+	aux      []float64
+	stamp    []uint32
+	epoch    uint32
+	touched  []int32
+	spilled  bool
+	pushes   int
+}
+
+// drainPacked emits the estimate array as a canonical Packed.
+func (st *pushState) drainPacked() sparse.Packed {
+	if st.spilled {
+		return sparse.PackedFromDense(st.est[:st.n], 0)
+	}
+	return sparse.PackFromDenseIDs(st.touched, st.est)
+}
+
+// appendEntries appends the nonzero estimate entries to dst, in
+// unspecified order.
+func (st *pushState) appendEntries(dst []sparse.Entry) []sparse.Entry {
+	if st.spilled {
+		for i, x := range st.est[:st.n] {
+			if x != 0 {
+				dst = append(dst, sparse.Entry{ID: int32(i), Score: x})
+			}
+		}
+		return dst
+	}
+	for _, id := range st.touched {
+		if x := st.est[id]; x != 0 {
+			dst = append(dst, sparse.Entry{ID: id, Score: x})
+		}
+	}
+	return dst
+}
+
+// drainVector emits a dense slice's nonzero entries as a map Vector.
+func (st *pushState) drainVector(vals []float64) sparse.Vector {
+	v := sparse.Vector{}
+	if st.spilled {
+		for i, x := range vals[:st.n] {
+			if x != 0 {
+				v[int32(i)] = x
+			}
+		}
+		return v
+	}
+	for _, id := range st.touched {
+		if x := vals[id]; x != 0 {
+			v[id] = x
+		}
+	}
+	return v
+}
+
+// pushPartial is the sparse-frontier variant of partialVectorDense:
+// identical selective-expansion arithmetic in identical FIFO order
+// (results are bit-identical), with lazily stamped slots and a
+// touched-list drain. The hot loop is written closure-free over the raw
+// CSR — at a few hundred pushes per vector the per-edge constant is
+// what decides whether sparse bookkeeping wins. See the file comment
+// for the invariant and the KernelAuto spill semantics.
+func pushPartial(g *graph.Graph, u int32, isHub []bool, p Params, sc *Scratch) (pushState, error) {
+	if err := p.Validate(); err != nil {
+		return pushState{}, err
+	}
+	n := g.NumNodes()
+	if u < 0 || int(u) >= n || g.IsVirtual(u) {
+		return pushState{}, fmt.Errorf("ppr: source %d invalid", u)
+	}
+	if isHub != nil && len(isHub) != n {
+		return pushState{}, fmt.Errorf("ppr: isHub length %d, want %d", len(isHub), n)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	d, e, blocked, inQueue, stamp, epoch := sc.stamped(n)
+	touched := sc.ids()
+	queue := sc.queueBuf()
+	spillAt := spillLimit(p.Kernel, n)
+	spilled := false
+	sink := g.VirtualSink() // -1 when absent: never equals a node id
+	oneMinus := 1 - p.Alpha
+	eps := p.Eps
+	pushes := 0
+	limit := p.maxIter() * max(n, 1)
+
+	// Step 0: the zero-length tour ends at u (α), and u expands even when
+	// it is a hub — the start position is not interior.
+	stamp[u] = epoch
+	e[u], blocked[u] = 0, 0
+	inQueue[u] = false
+	touched = append(touched, u)
+	d[u] = p.Alpha
+	if ow := g.OutWeight(u); ow != 0 {
+		share := oneMinus / float64(ow) // = 1·(1−α)/ow, as expand(u, 1) computes
+		for _, w := range g.Out(u) {
+			if w == sink {
+				continue
+			}
+			if stamp[w] != epoch {
+				stamp[w] = epoch
+				d[w], e[w], blocked[w] = 0, 0, 0
+				inQueue[w] = false
+				if !spilled {
+					touched = append(touched, w)
+					if len(touched) >= spillAt {
+						spilled = true
+					}
+				}
+			}
+			e[w] += share
+			if !inQueue[w] && e[w] > eps {
+				inQueue[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	qi := 0
+	for qi < len(queue) && pushes < limit && !spilled {
+		pushes++
+		v := queue[qi]
+		qi++
+		inQueue[v] = false
+		mass := e[v]
+		if mass <= eps {
+			continue
+		}
+		e[v] = 0
+		if isHub != nil && isHub[v] {
+			blocked[v] += mass // frozen: no hub visits after the start
+			continue
+		}
+		d[v] += p.Alpha * mass // tours ending here
+		ow := g.OutWeight(v)
+		if ow == 0 {
+			continue // dangling or fully-external: absorb
+		}
+		share := mass * oneMinus / float64(ow)
+		for _, w := range g.Out(v) {
+			if w == sink {
+				continue
+			}
+			if stamp[w] != epoch {
+				stamp[w] = epoch
+				d[w], e[w], blocked[w] = 0, 0, 0
+				inQueue[w] = false
+				if !spilled {
+					touched = append(touched, w)
+					if len(touched) >= spillAt {
+						spilled = true
+					}
+				}
+			}
+			e[w] += share
+			if !inQueue[w] && e[w] > eps {
+				inQueue[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if spilled {
+		// KernelAuto fallback: bulk-initialize the remaining slots and
+		// finish as the dense sweep — no stamp checks from here on.
+		spillInit(n, stamp, epoch, d, e, blocked, inQueue)
+		for qi < len(queue) && pushes < limit {
+			pushes++
+			v := queue[qi]
+			qi++
+			inQueue[v] = false
+			mass := e[v]
+			if mass <= eps {
+				continue
+			}
+			e[v] = 0
+			if isHub != nil && isHub[v] {
+				blocked[v] += mass
+				continue
+			}
+			d[v] += p.Alpha * mass
+			ow := g.OutWeight(v)
+			if ow == 0 {
+				continue
+			}
+			share := mass * oneMinus / float64(ow)
+			for _, w := range g.Out(v) {
+				if w == sink {
+					continue
+				}
+				e[w] += share
+				if !inQueue[w] && e[w] > eps {
+					inQueue[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	sc.putQueue(queue)
+	sc.touched = touched[:0] // keep the (possibly grown) buffer
+	return pushState{
+		n: n, est: d, res: e, aux: blocked, stamp: stamp, epoch: epoch,
+		touched: touched, spilled: spilled, pushes: pushes,
+	}, nil
+}
+
+// pushSkeleton is the sparse-frontier variant of skeletonForHub: the
+// same residual-driven reverse value iteration (Eq. 8) with identical
+// arithmetic and pop order, reading the reverse CSR once so the inner
+// loop never takes the In() mutex the dense kernel pays per pop.
+func pushSkeleton(g *graph.Graph, h int32, p Params, sc *Scratch) (pushState, error) {
+	if err := p.Validate(); err != nil {
+		return pushState{}, err
+	}
+	n := g.NumNodes()
+	if h < 0 || int(h) >= n || g.IsVirtual(h) {
+		return pushState{}, fmt.Errorf("ppr: hub %d invalid", h)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	inOff, inAdj := g.InLists()
+	est, res, _, inQueue, stamp, epoch := sc.stamped(n)
+	touched := sc.ids()
+	queue := sc.queueBuf()
+	spillAt := spillLimit(p.Kernel, n)
+	spilled := false
+	sink := g.VirtualSink()
+	oneMinus := 1 - p.Alpha
+	eps := p.Eps
+	pushes := 0
+	limit := p.maxIter() * max(n, 1)
+
+	stamp[h] = epoch
+	est[h] = 0
+	touched = append(touched, h)
+	res[h] = p.Alpha
+	queue = append(queue, h)
+	inQueue[h] = true
+
+	qi := 0
+	for qi < len(queue) && pushes < limit && !spilled {
+		pushes++
+		u := queue[qi]
+		qi++
+		inQueue[u] = false
+		rho := res[u]
+		if rho <= eps {
+			continue
+		}
+		res[u] = 0
+		est[u] += rho
+		// F(w) receives (1−α)·F(u)/OutWeight(w) for every edge w→u.
+		for _, w := range inAdj[inOff[u]:inOff[u+1]] {
+			ow := g.OutWeight(w)
+			if ow == 0 || w == sink {
+				continue
+			}
+			if stamp[w] != epoch {
+				stamp[w] = epoch
+				est[w], res[w] = 0, 0
+				inQueue[w] = false
+				if !spilled {
+					touched = append(touched, w)
+					if len(touched) >= spillAt {
+						spilled = true
+					}
+				}
+			}
+			res[w] += oneMinus * rho / float64(ow)
+			if !inQueue[w] && res[w] > eps {
+				inQueue[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	if spilled {
+		spillInit(n, stamp, epoch, est, res, nil, inQueue)
+		for qi < len(queue) && pushes < limit {
+			pushes++
+			u := queue[qi]
+			qi++
+			inQueue[u] = false
+			rho := res[u]
+			if rho <= eps {
+				continue
+			}
+			res[u] = 0
+			est[u] += rho
+			for _, w := range inAdj[inOff[u]:inOff[u+1]] {
+				ow := g.OutWeight(w)
+				if ow == 0 || w == sink {
+					continue
+				}
+				res[w] += oneMinus * rho / float64(ow)
+				if !inQueue[w] && res[w] > eps {
+					inQueue[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if sink >= 0 {
+			est[sink] = 0 // bulk init made it visible to the dense drain
+		}
+	}
+	sc.putQueue(queue)
+	sc.touched = touched[:0]
+	return pushState{
+		n: n, est: est, res: res, stamp: stamp, epoch: epoch,
+		touched: touched, spilled: spilled, pushes: pushes,
+	}, nil
+}
+
+// spillInit bulk-initializes every slot the sparse phase did not touch,
+// after which the dense loop body runs stamp-free.
+func spillInit(n int, stamp []uint32, epoch uint32, a, b, c []float64, marks []bool) {
+	for i := 0; i < n; i++ {
+		if stamp[i] != epoch {
+			stamp[i] = epoch
+			a[i], b[i] = 0, 0
+			if c != nil {
+				c[i] = 0
+			}
+			marks[i] = false
+		}
+	}
+}
+
+// Push computes the full local PPV of u by forward push (no hub
+// blocking) and returns it in packed form — the sparse-frontier
+// analogue of PartialVector with a nil hub set. Results are
+// bit-identical to the dense kernel at the same Params.
+func Push(g *graph.Graph, u int32, p Params) (sparse.Packed, error) {
+	p.Kernel = KernelPush
+	st, err := pushPartial(g, u, nil, p, nil)
+	if err != nil {
+		return sparse.Packed{}, err
+	}
+	return st.drainPacked(), nil
+}
+
+// PushPartial computes the partial vector p_u^H by forward push,
+// honoring hub blocking exactly as PartialVector does (Definition 1:
+// the start position is exempt; later hub visits freeze the walk).
+// The frozen mass is returned per hub in hubBlocked.
+func PushPartial(g *graph.Graph, u int32, isHub []bool, p Params) (partial sparse.Packed, hubBlocked sparse.Vector, err error) {
+	p.Kernel = KernelPush
+	st, err := pushPartial(g, u, isHub, p, nil)
+	if err != nil {
+		return sparse.Packed{}, nil, err
+	}
+	return st.drainPacked(), st.drainVector(st.aux), nil
+}
+
+// PushSkeleton computes s_·(h) — the PPV value AT hub h for every
+// source simultaneously (Eq. 8) — by memory-bounded reverse push,
+// returning only the sources h's influence actually reaches, in packed
+// form. Entry u is within Eps/α of s_u(h), exactly the SkeletonForHub
+// guarantee; values are bit-identical to it.
+func PushSkeleton(g *graph.Graph, h int32, p Params) (sparse.Packed, error) {
+	p.Kernel = KernelPush
+	st, err := pushSkeleton(g, h, p, nil)
+	if err != nil {
+		return sparse.Packed{}, err
+	}
+	return st.drainPacked(), nil
+}

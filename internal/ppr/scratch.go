@@ -5,24 +5,46 @@ import (
 	"exactppr/internal/sparse"
 )
 
-// Scratch holds the dense working arrays of the ppr kernels so a worker
+// Scratch holds the working arrays of the ppr kernels so a worker
 // executing many tasks back to back — the pre-computation pool, the
 // incremental-update recompute pool — reuses one set of buffers instead
-// of allocating fresh O(|V|) slices per vector. The zero value is ready
-// to use; a Scratch must not be shared between concurrent calls.
+// of allocating fresh O(|V|) slices per vector. The dense kernels clear
+// the buffers per use; the push kernels stamp slots lazily (see
+// push.go), so a task's cost stays proportional to the frontier it
+// actually reaches. The zero value is ready to use; a Scratch must not
+// be shared between concurrent calls.
 type Scratch struct {
 	f1, f2, f3 []float64
 	marks      []bool
 	queue      []int32
+	touched    []int32
+	stamp      []uint32
+	epoch      uint32
+	entries    []sparse.Entry
+
+	// Stats accumulates kernel work counters across every call on this
+	// scratch — one pre-computation worker's tally.
+	Stats KernelStats
 }
 
-// dense returns the three float buffers re-sliced to n and zeroed.
-func (sc *Scratch) dense(n int) (a, b, c []float64) {
-	if cap(sc.f1) < n {
-		sc.f1 = make([]float64, n)
-		sc.f2 = make([]float64, n)
-		sc.f3 = make([]float64, n)
+// grow ensures every buffer holds n slots. Growing invalidates stamps
+// (fresh arrays are all-zero and epoch restarts).
+func (sc *Scratch) grow(n int) {
+	if cap(sc.f1) >= n {
+		return
 	}
+	sc.f1 = make([]float64, n)
+	sc.f2 = make([]float64, n)
+	sc.f3 = make([]float64, n)
+	sc.marks = make([]bool, n)
+	sc.stamp = make([]uint32, n)
+	sc.epoch = 0
+}
+
+// dense returns the three float buffers re-sliced to n and zeroed, for
+// the dense kernels.
+func (sc *Scratch) dense(n int) (a, b, c []float64) {
+	sc.grow(n)
 	a, b, c = sc.f1[:n], sc.f2[:n], sc.f3[:n]
 	clear(a)
 	clear(b)
@@ -30,37 +52,107 @@ func (sc *Scratch) dense(n int) (a, b, c []float64) {
 	return a, b, c
 }
 
-func (sc *Scratch) bools(n int) []bool {
-	if cap(sc.marks) < n {
-		sc.marks = make([]bool, n)
+// stamped returns the float buffers, the mark buffer, and the stamp
+// array under a fresh epoch, for the push kernels: nothing is cleared,
+// slots are lazily initialized on first touch of the new epoch.
+func (sc *Scratch) stamped(n int) (a, b, c []float64, marks []bool, stamp []uint32, epoch uint32) {
+	sc.grow(n)
+	sc.epoch++
+	if sc.epoch == 0 { // stamp wrap: all stamps look fresh, clear them
+		clear(sc.stamp)
+		sc.epoch = 1
 	}
+	return sc.f1[:n], sc.f2[:n], sc.f3[:n], sc.marks[:n], sc.stamp[:n], sc.epoch
+}
+
+func (sc *Scratch) bools(n int) []bool {
+	sc.grow(n)
 	m := sc.marks[:n]
 	clear(m)
 	return m
 }
 
-func (sc *Scratch) ids() []int32 {
+// queueBuf returns the reusable work-queue buffer, emptied. Kernels
+// hand it back via putQueue so growth is kept across tasks.
+func (sc *Scratch) queueBuf() []int32 {
 	if sc.queue == nil {
 		sc.queue = make([]int32, 0, 64)
 	}
 	return sc.queue[:0]
 }
 
-// PartialVectorPacked is ppr.PartialVectorPacked running on the
-// scratch's buffers; the blocked-mass diagnostic is not materialized.
-// The returned Packed owns fresh storage — it stays valid after the
-// scratch is reused.
-func (sc *Scratch) PartialVectorPacked(g *graph.Graph, u int32, isHub []bool, p Params) (sparse.Packed, error) {
-	d, _, err := partialVectorDense(g, u, isHub, p, sc)
-	if err != nil {
-		return sparse.Packed{}, err
+// putQueue returns a (possibly grown) queue buffer for reuse.
+func (sc *Scratch) putQueue(q []int32) { sc.queue = q[:0] }
+
+// ids returns the reusable touched-id buffer, emptied.
+func (sc *Scratch) ids() []int32 {
+	if sc.touched == nil {
+		sc.touched = make([]int32, 0, 64)
 	}
-	return sparse.PackedFromDense(d, 0), nil
+	return sc.touched[:0]
 }
 
-// SkeletonForHub is ppr.SkeletonForHub running on the scratch's
-// buffers. The returned dense slice ALIASES the scratch and is only
-// valid until the next call on sc — callers must drain it first.
-func (sc *Scratch) SkeletonForHub(g *graph.Graph, h int32, p Params) ([]float64, error) {
-	return skeletonForHub(g, h, p, sc)
+// PartialEntries computes the partial vector of u with the engine
+// selected by p.Kernel and returns its nonzero (localID, value) entries
+// in unspecified order. The slice ALIASES the scratch's entry buffer —
+// it is valid only until the next PartialEntries/SkeletonEntries call
+// on sc; callers must drain it first.
+func (sc *Scratch) PartialEntries(g *graph.Graph, u int32, isHub []bool, p Params) ([]sparse.Entry, error) {
+	sc.entries = sc.entries[:0]
+	if p.Kernel == KernelDense {
+		d, _, steps, err := partialVectorDense(g, u, isHub, p, sc)
+		if err != nil {
+			return nil, err
+		}
+		sc.Stats.Add(KernelStats{Vectors: 1, Pushes: int64(steps), DenseFallbacks: 1})
+		for i, x := range d {
+			if x != 0 {
+				sc.entries = append(sc.entries, sparse.Entry{ID: int32(i), Score: x})
+			}
+		}
+		return sc.entries, nil
+	}
+	st, err := pushPartial(g, u, isHub, p, sc)
+	if err != nil {
+		return nil, err
+	}
+	sc.recordPush(&st)
+	sc.entries = st.appendEntries(sc.entries)
+	return sc.entries, nil
+}
+
+// SkeletonEntries computes s_·(h) with the engine selected by p.Kernel
+// and returns the nonzero (localID, value) entries in unspecified
+// order. Same aliasing contract as PartialEntries.
+func (sc *Scratch) SkeletonEntries(g *graph.Graph, h int32, p Params) ([]sparse.Entry, error) {
+	sc.entries = sc.entries[:0]
+	if p.Kernel == KernelDense {
+		est, steps, err := skeletonForHub(g, h, p, sc)
+		if err != nil {
+			return nil, err
+		}
+		sc.Stats.Add(KernelStats{Vectors: 1, Pushes: int64(steps), DenseFallbacks: 1})
+		for i, x := range est {
+			if x != 0 {
+				sc.entries = append(sc.entries, sparse.Entry{ID: int32(i), Score: x})
+			}
+		}
+		return sc.entries, nil
+	}
+	st, err := pushSkeleton(g, h, p, sc)
+	if err != nil {
+		return nil, err
+	}
+	sc.recordPush(&st)
+	sc.entries = st.appendEntries(sc.entries)
+	return sc.entries, nil
+}
+
+// recordPush tallies one push-kernel invocation.
+func (sc *Scratch) recordPush(st *pushState) {
+	ks := KernelStats{Vectors: 1, Pushes: int64(st.pushes)}
+	if st.spilled {
+		ks.DenseFallbacks = 1
+	}
+	sc.Stats.Add(ks)
 }

@@ -1,7 +1,6 @@
 package sparse
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -46,22 +45,28 @@ func Pack(v Vector) Packed {
 // PackEntries builds a Packed from (id, score) pairs in any order,
 // dropping zero scores. Duplicate ids are rejected: entries of a vector
 // are a set, and silently summing or overwriting would hide caller bugs.
+//
+// The sort runs over int64 keys packing (id, input index) so the hot
+// path — every pre-computed vector passes through here — uses the
+// specialized integer sort instead of a comparator over 12-byte
+// structs. (Requires len(es) < 2³²; a vector has at most 2³¹ ids.)
 func PackEntries(es []Entry) (Packed, error) {
-	kept := make([]Entry, 0, len(es))
-	for _, e := range es {
+	keys := make([]int64, 0, len(es))
+	for i, e := range es {
 		if e.Score != 0 {
-			kept = append(kept, e)
+			keys = append(keys, int64(e.ID)<<32|int64(uint32(i)))
 		}
 	}
-	slices.SortFunc(kept, func(a, b Entry) int { return cmp.Compare(a.ID, b.ID) })
-	ids := make([]int32, len(kept))
-	scores := make([]float64, len(kept))
-	for k, e := range kept {
-		if k > 0 && e.ID == ids[k-1] {
-			return Packed{}, fmt.Errorf("sparse: duplicate id %d in entries", e.ID)
+	slices.Sort(keys)
+	ids := make([]int32, len(keys))
+	scores := make([]float64, len(keys))
+	for k, key := range keys {
+		id := int32(key >> 32)
+		if k > 0 && id == ids[k-1] {
+			return Packed{}, fmt.Errorf("sparse: duplicate id %d in entries", id)
 		}
-		ids[k] = e.ID
-		scores[k] = e.Score
+		ids[k] = id
+		scores[k] = es[uint32(key)].Score
 	}
 	return Packed{ids, scores}, nil
 }
@@ -86,6 +91,23 @@ func PackedFromDense(d []float64, eps float64) Packed {
 		}
 	}
 	return Packed{ids, scores}
+}
+
+// PackFromDenseIDs builds a Packed from the values of dense at the given
+// ids, dropping zeros. ids must be unique; they are sorted in place.
+// This is the drain step of the sparse-frontier push kernels: cost is
+// O(t log t) in the touched count t, never O(len(dense)).
+func PackFromDenseIDs(ids []int32, dense []float64) Packed {
+	slices.Sort(ids)
+	outIDs := make([]int32, 0, len(ids))
+	scores := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		if x := dense[id]; x != 0 {
+			outIDs = append(outIDs, id)
+			scores = append(scores, x)
+		}
+	}
+	return Packed{outIDs, scores}
 }
 
 // InRange reports whether every id lies in [0, n) — an O(1) check

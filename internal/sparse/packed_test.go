@@ -79,6 +79,18 @@ func TestPackEntries(t *testing.T) {
 	}
 }
 
+func TestPackFromDenseIDs(t *testing.T) {
+	dense := []float64{0, 1.5, 0, -2, 0, 0.25}
+	p := PackFromDenseIDs([]int32{5, 1, 3, 2}, dense) // 2 holds a zero: dropped
+	want := []Entry{{1, 1.5}, {3, -2}, {5, 0.25}}
+	if !reflect.DeepEqual(p.Entries(), want) {
+		t.Fatalf("PackFromDenseIDs = %v, want %v", p.Entries(), want)
+	}
+	if empty := PackFromDenseIDs(nil, dense); empty.Len() != 0 {
+		t.Fatalf("empty ids produced %v", empty.Entries())
+	}
+}
+
 func TestPackedFromDense(t *testing.T) {
 	p := PackedFromDense([]float64{0, 1, -0.5, 1e-9, 2}, 1e-8)
 	want := []Entry{{1, 1}, {2, -0.5}, {4, 2}}
