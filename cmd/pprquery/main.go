@@ -25,12 +25,18 @@ func main() {
 		machines  = flag.Int("machines", 0, "simulate an n-machine cluster (0 = centralized)")
 		verify    = flag.Bool("verify", false, "compare against power iteration")
 		disk      = flag.Bool("disk", false, "serve vectors from disk instead of loading the store into memory")
+		mmapMode  = flag.String("mmap", "on", "with -disk: memory-map the store file (on) or force the ReadAt fallback (off)")
+		cacheCap  = flag.Int("cachecap", 0, "with -disk: vectors held in the serving cache (0 = default 1024)")
 	)
 	flag.Parse()
 
 	q := int32(*node)
 	if *disk {
-		ds, err := core.OpenDiskStore(*storePath)
+		opts, err := core.ParseDiskOptions(*mmapMode, *cacheCap)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := core.OpenDiskStoreWith(*storePath, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -40,7 +46,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("disk-resident query: %v\n", time.Since(start).Round(time.Microsecond))
+		st := ds.Stats()
+		mode := "readat-fallback"
+		if st.Mmap {
+			mode = "mmap"
+		}
+		fmt.Printf("disk-resident query (%s, store v%d): %v — %d reads, %d cache hits\n",
+			mode, st.FormatVersion, time.Since(start).Round(time.Microsecond), st.Reads, st.CacheHits)
 		printTop(ppv, q, *topk)
 		return
 	}

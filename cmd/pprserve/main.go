@@ -23,6 +23,14 @@
 //
 //	pprserve -store web.store -of 4 -http :8080
 //
+// Add -disk to serve straight from the store file instead of loading it
+// into memory — the §5.2 "vectors larger than main memory" deployment.
+// The file is memory-mapped and vectors are folded zero-copy out of the
+// page cache (-mmap=off falls back to plain reads; -cachecap bounds the
+// vector cache). Works in both worker and local gateway mode; /stats
+// then reports the disk cache and coalescing counters. -disk serving is
+// read-only: it cannot be combined with -updates.
+//
 // Gateway endpoints: GET /ppv/{node}?topk=K, POST /ppv (batch or
 // preference set), GET /healthz, GET /stats.
 package main
@@ -57,10 +65,17 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-query timeout (gateway mode)")
 		updates     = flag.Bool("updates", false, "accept edge-delta updates (worker / local gateway mode)")
 		kernel      = flag.String("kernel", "auto", "recompute kernel for -updates batches: auto, dense, push")
+		disk        = flag.Bool("disk", false, "serve vectors from the store file on demand instead of loading it into memory")
+		mmapMode    = flag.String("mmap", "on", "disk mode: memory-map the store file (on) or force the ReadAt fallback (off)")
+		cacheCap    = flag.Int("cachecap", 0, "disk mode: vectors held in the serving cache (0 = default 1024)")
 	)
 	flag.Parse()
 
 	kern, err := ppr.ParseKernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	diskOpts, err := core.ParseDiskOptions(*mmapMode, *cacheCap)
 	if err != nil {
 		fatal(err)
 	}
@@ -72,6 +87,14 @@ func main() {
 			return
 		}
 		runQuery(coord, int32(*node), *topk)
+		return
+	}
+
+	if *disk {
+		if *updates {
+			fatal(fmt.Errorf("-disk serving is read-only: drop -updates or serve from memory"))
+		}
+		serveDisk(*storePath, diskOpts, *shard, *of, *listen, *httpAddr, *inFlight, *timeout)
 		return
 	}
 
@@ -133,6 +156,54 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "worker: shard %d/%d (%d hubs, %d leaves, %.2f MB, updates=%v) listening on %s\n",
 		*shard, *of, sh.HubCount(), sh.LeafCount(), float64(sh.SpaceBytes())/(1<<20), *updates, l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+// serveDisk runs worker or local-gateway mode over a DiskStore: the
+// mmap serving path behind the same coordinator/gateway stack as the
+// in-memory backends.
+func serveDisk(storePath string, opts core.DiskOptions, shard, of int, listen, httpAddr string, inFlight int, timeout time.Duration) {
+	ds, err := core.OpenDiskStoreWith(storePath, opts)
+	if err != nil {
+		fatal(err)
+	}
+	mode := "mmap"
+	if !ds.Stats().Mmap {
+		mode = "readat-fallback"
+	}
+
+	if httpAddr != "" {
+		c, err := cluster.NewDiskLocalCluster(ds, of)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gateway: %d in-process disk shards (store v%d, %s)\n",
+			of, ds.Stats().FormatVersion, mode)
+		runGateway(httpAddr, c, timeout)
+		return
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	if shard < 0 || shard >= of {
+		fatal(fmt.Errorf("shard %d out of range [0,%d)", shard, of))
+	}
+	shards, err := core.SplitDisk(ds, of)
+	if err != nil {
+		fatal(err)
+	}
+	sh := shards[shard]
+	srv := &cluster.Server{
+		MaxInFlight: inFlight,
+		Machine:     &cluster.LocalMachine{Backend: sh},
+	}
+	fmt.Fprintf(os.Stderr, "worker: disk shard %d/%d (%d hubs, %d leaves, %.2f MB on disk, store v%d, %s) listening on %s\n",
+		shard, of, sh.HubCount(), sh.LeafCount(), float64(sh.SpaceBytes())/(1<<20),
+		ds.Stats().FormatVersion, mode, l.Addr())
 	if err := srv.Serve(l); err != nil {
 		fatal(err)
 	}

@@ -217,12 +217,44 @@ func PowerIterationSet(g *Graph, pref []int32, p Params) (Vector, error) {
 type Preference = core.Preference
 
 // DiskStore answers exact queries straight from a store file, for
-// pre-computations larger than memory.
+// pre-computations larger than memory: memory-mapped zero-copy serving,
+// a transposed skeleton index, and a sharded coalescing vector cache.
 type DiskStore = core.DiskStore
 
+// DiskOptions tunes OpenDiskStoreWith (mmap on/off, cache capacity).
+type DiskOptions = core.DiskOptions
+
+// DiskStats is a snapshot of a DiskStore's serving counters (cache
+// hits/misses, coalesced reads, mmap vs fallback).
+type DiskStats = core.DiskStats
+
+// DiskShard is one machine's slice of a DiskStore.
+type DiskShard = core.DiskShard
+
+// DiskCluster is a coordinator over in-process disk shards; its
+// DiskStats feed the gateway's /stats.
+type DiskCluster = cluster.DiskCluster
+
 // OpenDiskStore opens a store file for on-demand (disk-resident)
-// querying; see core.DiskStore.
+// querying with default options; see core.DiskStore.
 func OpenDiskStore(path string) (*DiskStore, error) { return core.OpenDiskStore(path) }
+
+// OpenDiskStoreWith is OpenDiskStore with explicit serving options.
+func OpenDiskStoreWith(path string, opts DiskOptions) (*DiskStore, error) {
+	return core.OpenDiskStoreWith(path, opts)
+}
+
+// SplitDisk divides a disk store across n machines with the same
+// assignment as Split, so disk and memory shard shares are
+// interchangeable.
+func SplitDisk(ds *DiskStore, n int) ([]*DiskShard, error) { return core.SplitDisk(ds, n) }
+
+// NewDiskLocalCluster shards a disk store across n in-process machines
+// behind a coordinator — single-host serving for stores larger than
+// memory.
+func NewDiskLocalCluster(ds *DiskStore, n int) (*DiskCluster, error) {
+	return cluster.NewDiskLocalCluster(ds, n)
+}
 
 // SaveStore persists a store; LoadStore restores it.
 func SaveStore(w io.Writer, s *Store) error { return core.Save(w, s) }

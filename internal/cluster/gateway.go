@@ -429,7 +429,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ok > 0 {
 		avg = g.wallNs.Load() / ok
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"queries":        ok,
 		"batches":        g.batches.Load(),
 		"updates":        g.updates.Load(),
@@ -438,7 +438,23 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bytes_received": g.bytes.Load(),
 		"avg_wall_ns":    avg,
 		"uptime_s":       time.Since(g.start).Seconds(),
-	})
+	}
+	// Disk-resident backends surface their serving counters so cache or
+	// mmap regressions are observable in production, not just in benches.
+	if p, ok := g.backend.(interface{ DiskStats() core.DiskStats }); ok {
+		ds := p.DiskStats()
+		stats["disk"] = map[string]any{
+			"cache_hits":      ds.CacheHits,
+			"cache_misses":    ds.CacheMisses,
+			"coalesced_reads": ds.CoalescedReads,
+			"reads":           ds.Reads,
+			"evictions":       ds.Evictions,
+			"cached":          ds.Cached,
+			"mmap":            ds.Mmap,
+			"format_version":  ds.FormatVersion,
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

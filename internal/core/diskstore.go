@@ -8,8 +8,8 @@ import (
 	"os"
 	"sync"
 
-	"exactppr/internal/graph"
 	"exactppr/internal/hierarchy"
+	"exactppr/internal/mmapfile"
 	"exactppr/internal/ppr"
 	"exactppr/internal/sparse"
 )
@@ -18,29 +18,52 @@ import (
 // by Save/SaveFile, reading vectors on demand instead of materializing
 // them in memory. The paper points out that pre-computed vectors "could
 // likely be larger than available main memory" and suggests a disk-based
-// implementation (§5.2); this is that implementation. Only the graph, the
-// hierarchy, and an offset index live in RAM — vector payloads are read
-// with ReadAt and kept in a small bounded cache.
+// implementation (§5.2); this is that implementation, built around three
+// compounding serving optimisations:
 //
-// DiskStore is safe for concurrent queries.
+//   - Zero-copy mmap. The store file is memory-mapped by default and
+//     version-2 payloads are served as sparse.PackedView slices aliasing
+//     the mapping — no read buffer, no decode copy; the OS page cache is
+//     the real vector cache. A -mmap=off knob (DiskOptions.DisableMmap),
+//     unsupported platforms, and map failures all fall back to the
+//     portable ReadAt+decode path.
+//   - Transposed skeleton index. A query folds exactly one hub-plan row
+//     (leaf + Σ (h, S_u(h))·partial) instead of fetching every path
+//     hub's entire skeleton vector to read a single scalar. Version-2
+//     files carry the transpose as a fourth section; legacy files get it
+//     synthesized in memory at open.
+//   - Sharded coalescing cache. Decoded vectors (views, in mmap mode)
+//     live in an N-way sharded CLOCK cache with per-key singleflight, so
+//     a miss storm on a hot hub issues ONE read however many queries are
+//     in flight. See diskcache.go.
+//
+// Only the graph, the hierarchy, and an offset index are always
+// resident; vector payloads stay on disk (or in the page cache).
+//
+// DiskStore is safe for concurrent queries and is read-only: it does not
+// support ApplyUpdates — rebuild and reopen to pick up new graph state.
 type DiskStore struct {
 	H      *hierarchy.Hierarchy
 	Params ppr.Params
 
-	f   *os.File
-	idx [3]map[int32]span // hub partials, skeletons, leaf PPVs
+	f       *os.File
+	data    []byte // mmap of the whole file; nil on the fallback path
+	version int    // store file format version (1 or 2)
 
-	// fmu guards the file's lifecycle: fetch reads hold it shared across
-	// ReadAt so Close can never yank the descriptor out from under an
-	// in-flight read; Close takes it exclusively, which also makes Close
-	// wait for those reads to drain.
+	idx     [4]map[int32]span // hub partials, skeletons, leaf PPVs, hub plans
+	planMem map[int32]planRow // synthesized transpose for version-1 files
+
+	// fmu guards the file AND mapping lifecycle. Queries hold it shared
+	// for their entire duration — not just across the read — because in
+	// mmap mode the vectors being folded are views over the mapping;
+	// Close takes it exclusively, so it cannot unmap bytes an in-flight
+	// fold is reading. Drained results never alias the mapping (the
+	// accumulator copies on drain), so nothing escapes the lock.
 	fmu    sync.RWMutex
 	closed bool
 
-	mu    sync.Mutex
-	cache map[cacheKey]sparse.Packed
-	// CacheCap bounds the number of cached vectors (default 1024).
-	cacheCap int
+	cache *vecCache
+	stats diskCounters
 }
 
 // ErrStoreClosed reports a query against a DiskStore after Close.
@@ -60,12 +83,76 @@ const (
 	secHubPartial = 0
 	secSkeleton   = 1
 	secLeafPPV    = 2
+	secHubPlan    = 3
 )
 
-// OpenDiskStore opens a store file for on-demand querying. The header,
-// graph, and hierarchy are loaded; vector payloads are indexed by offset
-// and skipped.
+// defaultCacheCap bounds the vector cache when DiskOptions.CacheCap is
+// zero. In mmap mode the cache holds slice headers, not payloads, so
+// this is a count of cheap entries; in fallback mode it bounds real heap
+// copies.
+const defaultCacheCap = 1024
+
+// DiskOptions tunes OpenDiskStoreWith.
+type DiskOptions struct {
+	// DisableMmap forces the portable ReadAt+decode path even where
+	// mapping would work — the -mmap=off serving knob.
+	DisableMmap bool
+	// CacheCap bounds the number of cached vectors (0 = default 1024;
+	// minimum 1 per cache shard).
+	CacheCap int
+}
+
+// DiskStats is a snapshot of the serving counters, exposed through the
+// gateway's /stats so cache and mmap regressions are observable in
+// production, not just in benchmarks.
+type DiskStats struct {
+	// CacheHits/CacheMisses count cache probes.
+	CacheHits, CacheMisses int64
+	// CoalescedReads counts misses that waited on another query's
+	// in-flight read instead of issuing their own (the miss-storm fix:
+	// under a hot-key storm this approaches CacheMisses while Reads
+	// stays near the distinct-vector count).
+	CoalescedReads int64
+	// Reads counts actual payload loads (ReadAt+decode, or view
+	// construction in mmap mode).
+	Reads int64
+	// Evictions counts CLOCK evictions.
+	Evictions int64
+	// Cached is the current number of cached vectors.
+	Cached int
+	// Mmap reports whether the store is serving zero-copy from a
+	// memory-mapped file (false: the ReadAt fallback).
+	Mmap bool
+	// FormatVersion is the store file version (2 carries the transposed
+	// skeleton index on disk; 1 synthesizes it at open).
+	FormatVersion int
+}
+
+// ParseDiskOptions builds DiskOptions from the serving commands' shared
+// -mmap ("on"/"off") and -cachecap flag values.
+func ParseDiskOptions(mmapMode string, cacheCap int) (DiskOptions, error) {
+	opts := DiskOptions{CacheCap: cacheCap}
+	switch mmapMode {
+	case "on":
+	case "off":
+		opts.DisableMmap = true
+	default:
+		return opts, fmt.Errorf("core: bad mmap mode %q (want on or off)", mmapMode)
+	}
+	return opts, nil
+}
+
+// OpenDiskStore opens a store file for on-demand querying with default
+// options (mmap on, 1024-vector cache).
 func OpenDiskStore(path string) (*DiskStore, error) {
+	return OpenDiskStoreWith(path, DiskOptions{})
+}
+
+// OpenDiskStoreWith opens a store file for on-demand querying. The
+// header, graph, and hierarchy are loaded; vector payloads are indexed
+// by offset and (unless mapping is disabled or unavailable) served
+// zero-copy from a read-only memory map.
+func OpenDiskStoreWith(path string, opts DiskOptions) (*DiskStore, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -75,12 +162,25 @@ func OpenDiskStore(path string) (*DiskStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	cap := opts.CacheCap
+	if cap <= 0 {
+		cap = defaultCacheCap
+	}
+	ds.cache = newVecCache(0, cap)
+	if !opts.DisableMmap {
+		// Mapping failures (platform without mmap, exotic filesystems)
+		// degrade to the ReadAt path silently: same answers, fewer tricks.
+		if data, err := mmapfile.Map(f); err == nil {
+			ds.data = data
+		}
+	}
 	return ds, nil
 }
 
-// Close releases the underlying file. It blocks until in-flight reads
-// drain; queries issued afterwards fail with ErrStoreClosed instead of
-// hitting a closed *os.File. Close is idempotent.
+// Close releases the mapping and the underlying file. It blocks until
+// in-flight queries drain — cached vector views alias the mapping, so
+// unmapping mid-fold would be a fault, not just a race; queries issued
+// afterwards fail with ErrStoreClosed. Close is idempotent.
 func (d *DiskStore) Close() error {
 	d.fmu.Lock()
 	defer d.fmu.Unlock()
@@ -88,101 +188,79 @@ func (d *DiskStore) Close() error {
 		return nil
 	}
 	d.closed = true
-	return d.f.Close()
+	d.cache.purge() // cached views must not survive the mapping
+	var err error
+	if d.data != nil {
+		err = mmapfile.Unmap(d.data)
+		d.data = nil
+	}
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// SetCacheCap bounds the in-memory vector cache (minimum 1).
+// SetCacheCap rebounds the in-memory vector cache (minimum 1 per cache
+// shard). Shrinking evicts through the same CLOCK policy as inserts.
 func (d *DiskStore) SetCacheCap(n int) {
-	if n < 1 {
-		n = 1
-	}
-	d.mu.Lock()
-	d.cacheCap = n
-	for k := range d.cache {
-		if len(d.cache) <= n {
-			break
-		}
-		delete(d.cache, k)
-	}
-	d.mu.Unlock()
+	d.cache.setCap(n, &d.stats)
 }
 
+// Stats snapshots the serving counters. Safe concurrently with queries
+// and Close (the mapping state is read under the lifecycle lock).
+func (d *DiskStore) Stats() DiskStats {
+	d.fmu.RLock()
+	mmap := d.data != nil
+	d.fmu.RUnlock()
+	return DiskStats{
+		CacheHits:      d.stats.hits.Load(),
+		CacheMisses:    d.stats.misses.Load(),
+		CoalescedReads: d.stats.coalesced.Load(),
+		Reads:          d.stats.reads.Load(),
+		Evictions:      d.stats.evictions.Load(),
+		Cached:         d.cache.len(),
+		Mmap:           mmap,
+		FormatVersion:  d.version,
+	}
+}
+
+// acquire takes the shared lifecycle lock for one query; the caller must
+// release() when its fold (including the drain) is done.
+func (d *DiskStore) acquire() error {
+	d.fmu.RLock()
+	if d.closed {
+		d.fmu.RUnlock()
+		return ErrStoreClosed
+	}
+	return nil
+}
+
+func (d *DiskStore) release() { d.fmu.RUnlock() }
+
+// indexStoreFile parses the header exactly as Load does, but tracks byte
+// positions so the vector payloads can be skipped and indexed. For
+// version-1 files the skeleton section is additionally decoded in
+// passing to synthesize the transposed hub-plan index.
 func indexStoreFile(f *os.File) (*DiskStore, error) {
-	// Parse the header exactly as Load does, but track byte positions so
-	// the vector payloads can be skipped and indexed.
 	cr := &countingReader{r: bufio.NewReaderSize(f, 1<<20)}
-	var magic [8]byte
-	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+	version, params, opts, g, err := readStoreHeader(cr)
+	if err != nil {
 		return nil, err
 	}
-	if magic != storeMagic {
-		return nil, fmt.Errorf("core: not a store file")
-	}
-	var params ppr.Params
-	var opts hierarchy.Options
-	hdr := []any{
-		&params.Alpha, &params.Eps,
-	}
-	for _, p := range hdr {
-		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
-			return nil, err
-		}
-	}
-	var maxIter, dangling int32
-	if err := binary.Read(cr, binary.LittleEndian, &maxIter); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(cr, binary.LittleEndian, &dangling); err != nil {
-		return nil, err
-	}
-	params.MaxIter = int(maxIter)
-	params.Dangling = ppr.DanglingPolicy(dangling)
-
-	var fanout, maxLevels, minSize int32
-	var imbalance float64
-	var seed int64
-	for _, p := range []any{&fanout, &maxLevels, &minSize, &imbalance, &seed} {
-		if err := binary.Read(cr, binary.LittleEndian, p); err != nil {
-			return nil, err
-		}
-	}
-	opts.Fanout = int(fanout)
-	opts.MaxLevels = int(maxLevels)
-	opts.MinSize = int(minSize)
-	opts.Imbalance = imbalance
-	opts.Seed = seed
-
-	var n, m int32
-	if err := binary.Read(cr, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(cr, binary.LittleEndian, &m); err != nil {
-		return nil, err
-	}
-	if n < 0 || m < 0 {
-		return nil, fmt.Errorf("core: corrupt header")
-	}
-	b := graph.NewBuilder(int(n))
-	for e := int32(0); e < m; e++ {
-		var u, v int32
-		if err := binary.Read(cr, binary.LittleEndian, &u); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(cr, binary.LittleEndian, &v); err != nil {
-			return nil, err
-		}
-		b.AddEdge(u, v)
-	}
-	g := b.Build()
 	h, err := hierarchy.Build(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	ds := &DiskStore{
-		H: h, Params: params, f: f,
-		cache: make(map[cacheKey]sparse.Packed), cacheCap: 1024,
+	ds := &DiskStore{H: h, Params: params, f: f, version: version}
+	var planb *planBuilder
+	if version == 1 {
+		planb = newPlanBuilder(h)
 	}
-	for sec := 0; sec < 3; sec++ {
+	sections := 4
+	if version == 1 {
+		sections = 3
+	}
+	for sec := 0; sec < sections; sec++ {
 		var count int32
 		if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
 			return nil, err
@@ -192,22 +270,36 @@ func indexStoreFile(f *os.File) (*DiskStore, error) {
 		}
 		idx := make(map[int32]span, count)
 		for i := int32(0); i < count; i++ {
-			var key, vlen int32
-			if err := binary.Read(cr, binary.LittleEndian, &key); err != nil {
+			key, vlen, err := readRecordMeta(cr, version)
+			if err != nil {
 				return nil, err
-			}
-			if err := binary.Read(cr, binary.LittleEndian, &vlen); err != nil {
-				return nil, err
-			}
-			if vlen < 0 {
-				return nil, fmt.Errorf("core: corrupt vector length")
 			}
 			idx[key] = span{off: cr.n, len: vlen}
+			if planb != nil && sec == secSkeleton {
+				// Legacy file: the transpose is not on disk — build it
+				// from the skeleton payloads while they stream past.
+				buf := make([]byte, vlen)
+				if _, err := io.ReadFull(cr, buf); err != nil {
+					return nil, err
+				}
+				vec, err := sparse.DecodePacked(buf)
+				if err != nil {
+					return nil, err
+				}
+				if !vec.InRange(g.NumNodes()) {
+					return nil, fmt.Errorf("core: skeleton %d has out-of-range node ids (corrupt store?)", key)
+				}
+				planb.addSkeleton(key, vec)
+				continue
+			}
 			if err := cr.skip(int64(vlen)); err != nil {
 				return nil, err
 			}
 		}
 		ds.idx[sec] = idx
+	}
+	if planb != nil {
+		ds.planMem = planb.finish()
 	}
 	return ds, nil
 }
@@ -228,112 +320,266 @@ func (c *countingReader) Read(p []byte) (int, error) {
 func (c *countingReader) skip(n int64) error {
 	k, err := c.r.Discard(int(n))
 	c.n += int64(k)
+	if err == nil && int64(k) < n {
+		return io.ErrUnexpectedEOF
+	}
 	return err
 }
 
-// fetchBufPool recycles the read buffers of fetch across queries: a
-// cache miss used to allocate a fresh payload-sized slice, which at
+// fetchBufPool recycles the ReadAt buffers of the non-mmap path: a cache
+// miss used to allocate a fresh payload-sized slice, which at
 // disk-resident cache rates made the read buffer the top allocation of
-// the query path. DecodePacked copies out of the buffer, so returning
-// it to the pool before decoding results escape is safe.
+// the query path. Both decoders copy out of the buffer, so returning it
+// to the pool before the decoded vector escapes is safe.
 var fetchBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
-// fetch reads (and caches) one vector in packed form — decoding a
-// canonical payload into the columnar arrays is a straight copy.
-func (d *DiskStore) fetch(section int8, key int32) (sparse.Packed, error) {
-	ck := cacheKey{section, key}
-	d.mu.Lock()
-	if v, ok := d.cache[ck]; ok {
-		d.mu.Unlock()
-		return v, nil
-	}
-	d.mu.Unlock()
-
-	sp, ok := d.idx[section][key]
-	if !ok {
-		return sparse.Packed{}, fmt.Errorf("core: no vector for section %d key %d", section, key)
+// readPayload returns the raw bytes of one record: a slice of the
+// mapping (alias — do not retain past the lifecycle lock without going
+// through the cache) or a pooled buffer with done() returning it.
+func (d *DiskStore) readPayload(sp span) (buf []byte, done func(), err error) {
+	if d.data != nil {
+		end := sp.off + int64(sp.len)
+		if sp.off < 0 || end > int64(len(d.data)) {
+			return nil, nil, fmt.Errorf("core: record at %d+%d outside mapped file (%d bytes)", sp.off, sp.len, len(d.data))
+		}
+		return d.data[sp.off:end:end], func() {}, nil
 	}
 	bp := fetchBufPool.Get().(*[]byte)
-	defer fetchBufPool.Put(bp)
 	if cap(*bp) < int(sp.len) {
 		*bp = make([]byte, sp.len)
 	}
-	buf := (*bp)[:sp.len]
-	d.fmu.RLock()
-	if d.closed {
-		d.fmu.RUnlock()
-		return sparse.Packed{}, ErrStoreClosed
+	buf = (*bp)[:sp.len]
+	if _, err := d.f.ReadAt(buf, sp.off); err != nil {
+		fetchBufPool.Put(bp)
+		return nil, nil, err
 	}
-	_, err := d.f.ReadAt(buf, sp.off)
-	d.fmu.RUnlock()
+	return buf, func() { fetchBufPool.Put(bp) }, nil
+}
+
+// loadVector decodes one vector record. In mmap mode on a version-2 file
+// this is zero-copy: the returned Packed is a view over the mapping.
+func (d *DiskStore) loadVector(section int8, key int32) (cval, error) {
+	sp, ok := d.idx[section][key]
+	if !ok {
+		return cval{}, fmt.Errorf("core: no vector for section %d key %d", section, key)
+	}
+	buf, done, err := d.readPayload(sp)
 	if err != nil {
-		return sparse.Packed{}, err
+		return cval{}, err
 	}
-	v, err := sparse.DecodePacked(buf)
-	if err != nil {
-		return sparse.Packed{}, err
-	}
-	if !v.InRange(d.H.G.NumNodes()) {
-		return sparse.Packed{}, fmt.Errorf("core: vector for section %d key %d has out-of-range node ids (corrupt store?)", section, key)
-	}
-	d.mu.Lock()
-	if len(d.cache) >= d.cacheCap {
-		// Bounded cache with arbitrary eviction: map iteration order is
-		// effectively random, which is good enough for a working set that
-		// follows query locality.
-		for k := range d.cache {
-			delete(d.cache, k)
-			break
+	defer done()
+	var v sparse.Packed
+	if d.version == 1 {
+		v, err = sparse.DecodePacked(buf) // interleaved payload: always a copy
+	} else if d.data != nil {
+		var ids []int32
+		var scores []float64
+		ids, scores, err = sparse.ViewColumnar(buf) // aliases the mapping
+		if err == nil {
+			v, err = sparse.PackedView(ids, scores)
+		}
+	} else {
+		var ids []int32
+		var scores []float64
+		ids, scores, err = sparse.DecodeColumnar(buf) // pooled buffer: must copy
+		if err == nil {
+			v, err = sparse.PackedView(ids, scores)
 		}
 	}
-	d.cache[ck] = v
-	d.mu.Unlock()
-	return v, nil
+	if err != nil {
+		return cval{}, fmt.Errorf("core: vector for section %d key %d: %w", section, key, err)
+	}
+	if !v.InRange(d.H.G.NumNodes()) {
+		return cval{}, fmt.Errorf("core: vector for section %d key %d has out-of-range node ids (corrupt store?)", section, key)
+	}
+	return cval{vec: v}, nil
+}
+
+// fetch reads (and caches) one vector through the coalescing cache.
+func (d *DiskStore) fetch(section int8, key int32) (sparse.Packed, error) {
+	v, err := d.cache.getOrLoad(cacheKey{section, key}, &d.stats, func() (cval, error) {
+		return d.loadVector(section, key)
+	})
+	return v.vec, err
+}
+
+// plan returns query node u's hub-weight row. Version-1 stores answer
+// from the open-time synthesis; version-2 stores fetch the row like any
+// other vector (a node with no path hubs simply has no row).
+func (d *DiskStore) plan(u int32) (planRow, error) {
+	if d.version == 1 {
+		return d.planMem[u], nil
+	}
+	v, err := d.cache.getOrLoad(cacheKey{secHubPlan, u}, &d.stats, func() (cval, error) {
+		sp, ok := d.idx[secHubPlan][u]
+		if !ok {
+			return cval{}, nil
+		}
+		buf, done, err := d.readPayload(sp)
+		if err != nil {
+			return cval{}, err
+		}
+		defer done()
+		var hubs []int32
+		var s []float64
+		if d.data != nil {
+			hubs, s, err = sparse.ViewColumnar(buf)
+		} else {
+			hubs, s, err = sparse.DecodeColumnar(buf)
+		}
+		if err != nil {
+			return cval{}, fmt.Errorf("core: hub plan for %d: %w", u, err)
+		}
+		n := int32(d.H.G.NumNodes())
+		for _, h := range hubs {
+			if h < 0 || h >= n {
+				return cval{}, fmt.Errorf("core: hub plan for %d references out-of-range hub %d (corrupt store?)", u, h)
+			}
+		}
+		return cval{plan: planRow{hubs: hubs, s: s}}, nil
+	})
+	return v.plan, err
+}
+
+// queryInto folds w times (the shard sh's slice of) u's exact PPV into
+// acc — the same identity, in the same floating-point order, as
+// Store.queryInto, so disk and in-memory answers are bit-identical. The
+// caller holds the lifecycle lock. sh == nil folds the whole store.
+func (d *DiskStore) queryInto(acc *sparse.Accumulator, u int32, w float64, sh *DiskShard) error {
+	if u < 0 || int(u) >= d.H.G.NumNodes() {
+		return fmt.Errorf("core: query node %d out of range", u)
+	}
+	alpha := d.Params.Alpha
+	row, err := d.plan(u)
+	if err != nil {
+		return err
+	}
+	for i, h := range row.hubs {
+		if sh != nil && !sh.hubs[h] {
+			continue
+		}
+		su := row.s[i]
+		if h == u {
+			su -= alpha // S_u(h) = s_u(h) − α·f_u(h)
+		}
+		if su == 0 {
+			continue
+		}
+		partial, err := d.fetch(secHubPartial, h)
+		if err != nil {
+			return err
+		}
+		acc.AddPacked(partial, w*su/alpha)
+		acc.Add(h, w*su)
+	}
+	// Final term: the leaf-level local PPV for a non-hub query, or the
+	// hub's own partial p_u = P_u + α·x_u; in sharded mode it belongs to
+	// whoever owns the vector.
+	if d.H.IsHub(u) {
+		if sh == nil || sh.hubs[u] {
+			partial, err := d.fetch(secHubPartial, u)
+			if err != nil {
+				return err
+			}
+			acc.AddPacked(partial, w)
+			acc.Add(u, w*alpha)
+		}
+	} else if sh == nil || sh.leaves[u] {
+		leaf, err := d.fetch(secLeafPPV, u)
+		if err != nil {
+			return err
+		}
+		acc.AddPacked(leaf, w)
+	}
+	return nil
 }
 
 // Query constructs the exact PPV of u reading vectors from disk — the
-// same identity as Store.Query.
+// same identity as Store.Query, bit-for-bit.
 func (d *DiskStore) Query(u int32) (sparse.Vector, error) {
-	if u < 0 || int(u) >= d.H.G.NumNodes() {
-		return nil, fmt.Errorf("core: query node %d out of range", u)
+	if err := d.acquire(); err != nil {
+		return nil, err
 	}
-	alpha := d.Params.Alpha
+	defer d.release()
 	acc := sparse.AcquireAccumulator(d.H.G.NumNodes())
 	defer acc.Release()
-	for _, node := range d.H.Path(u) {
-		for _, h := range node.Hubs {
-			skel, err := d.fetch(secSkeleton, h)
-			if err != nil {
-				return nil, err
-			}
-			su := skel.Get(u)
-			if h == u {
-				su -= alpha
-			}
-			if su == 0 {
-				continue
-			}
-			partial, err := d.fetch(secHubPartial, h)
-			if err != nil {
-				return nil, err
-			}
-			acc.AddPacked(partial, su/alpha)
-			acc.Add(h, su)
-		}
+	if err := d.queryInto(acc, u, 1, nil); err != nil {
+		return nil, err
 	}
-	if d.H.IsHub(u) {
-		partial, err := d.fetch(secHubPartial, u)
-		if err != nil {
-			return nil, err
-		}
-		acc.AddPacked(partial, 1)
-		acc.Add(u, alpha)
-		return acc.Vector(), nil
+	return acc.Vector(), nil
+}
+
+// QueryPacked is Query draining into the columnar representation the
+// serving layer encodes straight onto the wire.
+func (d *DiskStore) QueryPacked(u int32) (sparse.Packed, error) {
+	if err := d.acquire(); err != nil {
+		return sparse.Packed{}, err
 	}
-	leaf, err := d.fetch(secLeafPPV, u)
+	defer d.release()
+	acc := sparse.AcquireAccumulator(d.H.G.NumNodes())
+	defer acc.Release()
+	if err := d.queryInto(acc, u, 1, nil); err != nil {
+		return sparse.Packed{}, err
+	}
+	return acc.Packed(), nil
+}
+
+// QueryTopK returns the k highest-scoring nodes of u's exact PPV without
+// materializing the full vector.
+func (d *DiskStore) QueryTopK(u int32, k int) ([]sparse.Entry, error) {
+	if err := d.acquire(); err != nil {
+		return nil, err
+	}
+	defer d.release()
+	acc := sparse.AcquireAccumulator(d.H.G.NumNodes())
+	defer acc.Release()
+	if err := d.queryInto(acc, u, 1, nil); err != nil {
+		return nil, err
+	}
+	return acc.TopK(k), nil
+}
+
+// QuerySet constructs the exact PPV of a weighted preference set by
+// linearity — the disk-resident analogue of Store.QuerySet.
+func (d *DiskStore) QuerySet(p Preference) (sparse.Vector, error) {
+	acc, err := d.querySetInto(p)
 	if err != nil {
 		return nil, err
 	}
-	acc.AddPacked(leaf, 1)
+	defer d.release()
+	defer acc.Release()
 	return acc.Vector(), nil
+}
+
+// QuerySetPacked is QuerySet draining into columnar form.
+func (d *DiskStore) QuerySetPacked(p Preference) (sparse.Packed, error) {
+	acc, err := d.querySetInto(p)
+	if err != nil {
+		return sparse.Packed{}, err
+	}
+	defer d.release()
+	defer acc.Release()
+	return acc.Packed(), nil
+}
+
+// querySetInto runs the weighted fold; on success the caller owns both
+// the accumulator release and the lifecycle lock release.
+func (d *DiskStore) querySetInto(p Preference) (*sparse.Accumulator, error) {
+	if err := d.acquire(); err != nil {
+		return nil, err
+	}
+	w, err := p.normalized(d.H.G.NumNodes())
+	if err != nil {
+		d.release()
+		return nil, err
+	}
+	acc := sparse.AcquireAccumulator(d.H.G.NumNodes())
+	for i, u := range p.Nodes {
+		if err := d.queryInto(acc, u, w[i], nil); err != nil {
+			acc.Release()
+			d.release()
+			return nil, err
+		}
+	}
+	return acc, nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"encoding/binary"
 	"reflect"
 	"sort"
 	"testing"
@@ -144,14 +143,27 @@ func TestLoadRejectsOutOfRangeIds(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The file ends with the last vector's final (id int32, score
-	// float64) entry; every stored vector is non-empty (a leaf PPV
-	// always carries at least the α self-entry), so bytes len-12..len-8
-	// are a real id field. Overwrite it with ids the graph cannot have.
+	// Poison one leaf vector with ids the graph cannot have and re-save;
+	// the poisoned file must be rejected at load, both by the in-memory
+	// loader and by the disk-store opener (which indexes the same bytes).
 	for _, id := range []int32{int32(g.NumNodes()), 1<<31 - 1, -7} {
-		bad := append([]byte(nil), good...)
-		binary.LittleEndian.PutUint32(bad[len(bad)-12:], uint32(id))
-		if _, err := Load(bytes.NewReader(bad)); err == nil {
+		bad := s.Clone()
+		var key int32
+		var vec sparse.Packed
+		for key, vec = range bad.LeafPPV {
+			break
+		}
+		ents := append(vec.Entries(), sparse.Entry{ID: id, Score: 0.125})
+		poisoned, err := sparse.PackEntries(ents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad.LeafPPV[key] = poisoned
+		var badBuf bytes.Buffer
+		if err := Save(&badBuf, bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(bytes.NewReader(badBuf.Bytes())); err == nil {
 			t.Fatalf("Load accepted a vector entry with id %d on a %d-node graph", id, g.NumNodes())
 		}
 	}

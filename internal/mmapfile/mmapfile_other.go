@@ -1,0 +1,14 @@
+//go:build !unix
+
+package mmapfile
+
+import (
+	"errors"
+	"os"
+)
+
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func unmapFile(b []byte) error { return nil }

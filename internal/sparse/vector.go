@@ -21,6 +21,14 @@
 //
 // Rule of thumb: build with Vector, store and ship as Packed, fold with
 // an Accumulator.
+//
+// A Packed normally owns its arrays, but PackedView (columnar.go) can
+// wrap EXTERNALLY owned columns — e.g. slices aliasing a memory-mapped
+// store file — without copying. Such views follow strict aliasing
+// rules: the backing memory must stay alive and unmodified for the
+// view's whole lifetime, and consumers must treat the view as read-only
+// like any other Packed. Draining an Accumulator always copies, so fold
+// RESULTS never alias a view.
 package sparse
 
 import (
